@@ -1,0 +1,60 @@
+// Command qcbench regenerates the paper's tables and figures.
+//
+//	qcbench -exp all            # every experiment at the default scale
+//	qcbench -exp table2         # one experiment
+//	qcbench -exp fig10 -small   # CI-sized run
+//	qcbench -list               # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qcsim/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	small := flag.Bool("small", false, "run at the fast CI scale")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvDir := flag.String("csv", "", "export figure data as CSV files into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	opt := harness.Default()
+	if *small {
+		opt = harness.Small()
+	}
+	if *csvDir != "" {
+		if err := harness.ExportCSV(*csvDir, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: csv export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV data written to %s\n", *csvDir)
+		return
+	}
+	run := func(e harness.Experiment) {
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "all" {
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := harness.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "qcbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,113 @@
+// Command qccompress runs any of the repository's compressors over a
+// raw little-endian float64 file — the workflow used to evaluate
+// compressors on state-vector snapshots (paper §4).
+//
+//	qccompress -codec solution-c -bound 1e-3 state.f64        # report ratio/rates/errors
+//	qccompress -codec sz-a -mode abs -bound 1e-4 state.f64
+//	qccompress -list
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"qcsim/internal/compress"
+	"qcsim/internal/compress/registry"
+	"qcsim/internal/stats"
+)
+
+func main() {
+	var (
+		codecName = flag.String("codec", "solution-c", "codec name or alias (see -list)")
+		mode      = flag.String("mode", "pwr", "pwr|abs|lossless")
+		bound     = flag.Float64("bound", 1e-3, "error bound")
+		out       = flag.String("o", "", "write the compressed payload to this file")
+		list      = flag.Bool("list", false, "list codec names and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range registry.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fail(fmt.Errorf("usage: qccompress [flags] <file.f64>"))
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	if len(raw)%8 != 0 {
+		fail(fmt.Errorf("%s: size %d is not a multiple of 8", flag.Arg(0), len(raw)))
+	}
+	data := make([]float64, len(raw)/8)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+
+	codec, err := registry.New(*codecName)
+	if err != nil {
+		fail(err)
+	}
+	opt := compress.Options{Bound: *bound}
+	switch *mode {
+	case "pwr":
+		opt.Mode = compress.PointwiseRelative
+	case "abs":
+		opt.Mode = compress.Absolute
+	case "lossless":
+		opt.Mode = compress.Lossless
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	start := time.Now()
+	payload, err := codec.Compress(nil, data, opt)
+	if err != nil {
+		fail(err)
+	}
+	ct := time.Since(start)
+	dec := make([]float64, len(data))
+	start = time.Now()
+	if err := codec.Decompress(dec, payload); err != nil {
+		fail(err)
+	}
+	dt := time.Since(start)
+
+	var maxAbs, maxRel float64
+	for i := range data {
+		e := math.Abs(data[i] - dec[i])
+		if e > maxAbs {
+			maxAbs = e
+		}
+		if data[i] != 0 {
+			if r := e / math.Abs(data[i]); r > maxRel {
+				maxRel = r
+			}
+		}
+	}
+	mb := float64(len(data)*8) / (1 << 20)
+	fmt.Printf("codec          %s (mode %s, bound %g)\n", codec.Name(), opt.Mode, opt.Bound)
+	fmt.Printf("input          %d values (%s)\n", len(data), stats.FormatBytes(float64(len(raw))))
+	fmt.Printf("compressed     %s  (ratio %.2f:1)\n", stats.FormatBytes(float64(len(payload))), compress.Ratio(len(data), len(payload)))
+	fmt.Printf("compress       %v  (%.1f MB/s)\n", ct.Round(time.Microsecond), mb/ct.Seconds())
+	fmt.Printf("decompress     %v  (%.1f MB/s)\n", dt.Round(time.Microsecond), mb/dt.Seconds())
+	fmt.Printf("max abs error  %.3e\n", maxAbs)
+	fmt.Printf("max rel error  %.3e\n", maxRel)
+	if *out != "" {
+		if err := os.WriteFile(*out, payload, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("payload written to %s\n", *out)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "qccompress: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,220 @@
+// Command qcsim runs a benchmark circuit on the compressed-state
+// simulator and reports the paper's Table 2 metrics for that run: time
+// breakdown, compression ratio, fidelity lower bound, and (optionally)
+// measurement samples.
+//
+//	qcsim -circuit grover -qubits 13 -budget-frac 0.1
+//	qcsim -circuit qft -qubits 16 -ranks 4 -checkpoint state.ckp
+//	qcsim -circuit supremacy -qubits 16 -depth 11 -budget-frac 0.375
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"qcsim/internal/core"
+	"qcsim/internal/quantum"
+	"qcsim/internal/stats"
+)
+
+func main() {
+	var (
+		circuit    = flag.String("circuit", "ghz", "grover|supremacy|qaoa|qft|random|ghz|hadamard")
+		file       = flag.String("file", "", "load the circuit from a .qc text file instead of -circuit")
+		dump       = flag.String("dump", "", "write the built circuit to this .qc file and exit")
+		qubits     = flag.Int("qubits", 12, "total qubits (grover: must be 2s-3 for search width s)")
+		depth      = flag.Int("depth", 11, "cycles (supremacy) or gate count (random)")
+		rounds     = flag.Int("rounds", 2, "QAOA rounds / Grover iterations")
+		ranks      = flag.Int("ranks", 1, "SPMD ranks (power of two)")
+		blockAmps  = flag.Int("block", 4096, "amplitudes per block (power of two)")
+		budgetFrac = flag.Float64("budget-frac", 0, "per-run memory budget as a fraction of 2^(n+4) bytes (0 = unlimited)")
+		cache      = flag.Int("cache", 64, "compressed block cache lines (0 = off)")
+		seed       = flag.Int64("seed", 1, "randomness seed")
+		shots      = flag.Int("shots", 0, "sample this many outcomes at the end")
+		checkpoint = flag.String("checkpoint", "", "write a checkpoint file after the run")
+		resume     = flag.String("resume", "", "load a checkpoint file before the run")
+		uncomp     = flag.Bool("uncompressed", false, "run the uncompressed baseline")
+		noise      = flag.Float64("noise", 0, "per-gate depolarizing probability")
+	)
+	flag.Parse()
+
+	var cir *quantum.Circuit
+	var err error
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fail(err)
+		}
+		cir, err = quantum.Parse(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		cir, err = buildCircuit(*circuit, *qubits, *depth, *rounds, *seed)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fail(err)
+		}
+		if err := quantum.Serialize(f, cir); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d-qubit, %d-gate circuit to %s\n", cir.N, len(cir.Gates), *dump)
+		return
+	}
+	req := core.MemoryRequirement(cir.N)
+	var perRank int64
+	if *budgetFrac > 0 {
+		perRank = int64(req * *budgetFrac / float64(*ranks))
+	}
+	sim, err := core.New(core.Config{
+		Qubits:       cir.N,
+		Ranks:        *ranks,
+		BlockAmps:    *blockAmps,
+		MemoryBudget: perRank,
+		CacheLines:   *cache,
+		Uncompressed: *uncomp,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *noise > 0 {
+		if err := sim.SetNoise(&core.NoiseModel{Prob: *noise}); err != nil {
+			fail(err)
+		}
+	}
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fail(err)
+		}
+		if err := sim.Load(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("resumed from %s (%d gates already executed)\n", *resume, sim.GatesRun())
+	}
+
+	label := *circuit
+	if *file != "" {
+		label = *file
+	}
+	fmt.Printf("circuit %s: %d qubits, %d gates; state requires %s uncompressed\n",
+		label, cir.N, len(cir.Gates), stats.FormatBytes(req))
+	start := time.Now()
+	if err := sim.Run(cir); err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	st := sim.Stats()
+	tot := st.TotalTime().Seconds()
+	if tot == 0 {
+		tot = 1
+	}
+	fmt.Printf("total time          %v  (%.2f ms/gate)\n", elapsed.Round(time.Millisecond),
+		elapsed.Seconds()*1000/float64(len(cir.Gates)))
+	fmt.Printf("  compression       %5.1f%%\n", 100*st.CompressTime.Seconds()/tot)
+	fmt.Printf("  decompression     %5.1f%%\n", 100*st.DecompressTime.Seconds()/tot)
+	fmt.Printf("  communication     %5.1f%%\n", 100*st.CommTime.Seconds()/tot)
+	fmt.Printf("  computation       %5.1f%%\n", 100*st.ComputeTime.Seconds()/tot)
+	fmt.Printf("compressed footprint %s (ratio %.2f, min %.2f)\n",
+		stats.FormatBytes(float64(st.CurrentFootprint)), sim.CompressionRatio(),
+		st.MinCompressionRatio(req))
+	fmt.Printf("fidelity lower bound %.6f (error level %d, %d escalations)\n",
+		sim.FidelityLowerBound(), st.FinalLevel, st.Escalations)
+	if st.CacheLookups > 0 {
+		fmt.Printf("block cache          %d/%d hits\n", st.CacheHits, st.CacheLookups)
+	}
+	if ms := sim.Measurements(); len(ms) > 0 {
+		fmt.Printf("measurements         %v\n", ms)
+	}
+	if *shots > 0 {
+		rng := rand.New(rand.NewSource(*seed + 1))
+		samples, err := sim.Sample(rng, *shots)
+		if err != nil {
+			fail(err)
+		}
+		counts := map[uint64]int{}
+		for _, v := range samples {
+			counts[v]++
+		}
+		fmt.Printf("samples (%d shots):\n", *shots)
+		printed := 0
+		for v, c := range counts {
+			fmt.Printf("  |%0*b⟩: %d\n", cir.N, v, c)
+			printed++
+			if printed >= 10 {
+				fmt.Printf("  ... %d more distinct outcomes\n", len(counts)-printed)
+				break
+			}
+		}
+	}
+	if *checkpoint != "" {
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			fail(err)
+		}
+		if err := sim.Save(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *checkpoint)
+	}
+}
+
+func buildCircuit(kind string, qubits, depth, rounds int, seed int64) (*quantum.Circuit, error) {
+	switch kind {
+	case "grover":
+		s, err := quantum.GroverSearchQubits(qubits)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		return quantum.Grover(s, uint64(rng.Int63n(1<<uint(s))), rounds), nil
+	case "supremacy":
+		rows, cols := factor(qubits)
+		return quantum.Supremacy(rows, cols, depth, seed), nil
+	case "qaoa":
+		return quantum.QAOA(qubits, rounds, seed), nil
+	case "qft":
+		return quantum.QFT(qubits, seed), nil
+	case "random":
+		return quantum.RandomCircuit(qubits, depth, seed), nil
+	case "ghz":
+		return quantum.GHZ(qubits), nil
+	case "hadamard":
+		return quantum.HadamardAll(qubits), nil
+	default:
+		return nil, fmt.Errorf("unknown circuit %q", kind)
+	}
+}
+
+func factor(n int) (int, int) {
+	best := [2]int{1, n}
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			best = [2]int{r, n / r}
+		}
+	}
+	return best[0], best[1]
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "qcsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,17 @@
+// Package qcsim is a Go reproduction of "Full-State Quantum Circuit
+// Simulation by Using Data Compression" (Wu et al., SC 2019): a
+// Schrödinger-style state-vector simulator that keeps every block of
+// amplitudes compressed in memory, trading computation time and a
+// bounded amount of fidelity for memory space.
+//
+// The simulator lives in internal/core; the compressor suite (the
+// paper's Solutions A-D plus SZ/ZFP/FPZIP-model comparators) in
+// internal/compress/...; circuit construction and the dense reference
+// simulator in internal/quantum; the SPMD rank runtime in internal/mpi;
+// and the experiment harness that regenerates every table and figure of
+// the paper in internal/harness.
+//
+// Start with README.md, the examples/ directory, and:
+//
+//	go run ./cmd/qcbench -list
+package qcsim

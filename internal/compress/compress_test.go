@@ -1,0 +1,161 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	good := []Options{
+		{Mode: Lossless},
+		{Mode: Lossless, Bound: -5}, // bound ignored
+		{Mode: Absolute, Bound: 1e-3},
+		{Mode: PointwiseRelative, Bound: 1e-1},
+	}
+	for i, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("good case %d: %v", i, err)
+		}
+	}
+	bad := []Options{
+		{Mode: Absolute, Bound: 0},
+		{Mode: Absolute, Bound: -1},
+		{Mode: PointwiseRelative, Bound: math.NaN()},
+		{Mode: PointwiseRelative, Bound: math.Inf(1)},
+		{Mode: ErrorMode(9), Bound: 1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("bad case %d accepted", i)
+		}
+	}
+}
+
+func TestErrorModeString(t *testing.T) {
+	if Lossless.String() != "lossless" || Absolute.String() != "abs" || PointwiseRelative.String() != "pwr" {
+		t.Fatal("mode strings changed")
+	}
+	if ErrorMode(7).String() == "" {
+		t.Fatal("unknown mode should still format")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Magic: 0x42, Mode: PointwiseRelative, Bound: 1e-4, Count: 12345}
+	buf := AppendHeader(nil, h)
+	got, rest, err := ParseHeader(buf, 0x42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header mismatch: %+v vs %+v", got, h)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("unexpected trailing payload %d", len(rest))
+	}
+}
+
+func TestHeaderBadMagic(t *testing.T) {
+	buf := AppendHeader(nil, Header{Magic: 1})
+	if _, _, err := ParseHeader(buf, 2); err == nil {
+		t.Fatal("magic mismatch accepted")
+	}
+	if _, _, err := ParseHeader(buf[:3], 1); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestShuffleRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 8, 15, 1024} {
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = float64(i)
+		}
+		sh := make([]float64, n)
+		back := make([]float64, n)
+		Shuffle(sh, src)
+		Unshuffle(back, sh)
+		for i := range src {
+			if back[i] != src[i] {
+				t.Fatalf("n=%d idx %d: got %v want %v", n, i, back[i], src[i])
+			}
+		}
+	}
+}
+
+func TestShuffleSeparatesStreams(t *testing.T) {
+	src := []float64{1, -1, 2, -2, 3, -3, 4, -4}
+	sh := make([]float64, len(src))
+	Shuffle(sh, src)
+	want := []float64{1, 2, 3, 4, -1, -2, -3, -4}
+	for i := range want {
+		if sh[i] != want[i] {
+			t.Fatalf("shuffled = %v", sh)
+		}
+	}
+}
+
+func TestByteShuffleRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 8, 16, 24, 100} { // 100: non-multiple-of-8 tail
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i * 7)
+		}
+		sh := make([]byte, n)
+		back := make([]byte, n)
+		ByteShuffle(sh, src)
+		ByteUnshuffle(back, sh)
+		for i := range src {
+			if back[i] != src[i] {
+				t.Fatalf("n=%d idx %d", n, i)
+			}
+		}
+	}
+}
+
+func TestCheckBound(t *testing.T) {
+	want := []float64{1, 2, 3}
+	if i := CheckBound(want, []float64{1, 2, 3}, Options{Mode: Lossless}); i != -1 {
+		t.Fatalf("exact match flagged at %d", i)
+	}
+	if i := CheckBound(want, []float64{1, 2.05, 3}, Options{Mode: Absolute, Bound: 0.1}); i != -1 {
+		t.Fatalf("in-bound flagged at %d", i)
+	}
+	if i := CheckBound(want, []float64{1, 2.2, 3}, Options{Mode: Absolute, Bound: 0.1}); i != 1 {
+		t.Fatalf("violation index = %d, want 1", i)
+	}
+	if i := CheckBound(want, []float64{1, 2, 3.4}, Options{Mode: PointwiseRelative, Bound: 0.1}); i != 2 {
+		t.Fatalf("violation index = %d, want 2", i)
+	}
+	if i := CheckBound(want, []float64{1, 2}, Options{}); i != 0 {
+		t.Fatalf("length mismatch index = %d", i)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(1024, 1024); r != 8 {
+		t.Fatalf("Ratio = %v", r)
+	}
+	if !math.IsInf(Ratio(10, 0), 1) {
+		t.Fatal("zero payload should be +Inf ratio")
+	}
+}
+
+func TestQuickShuffle(t *testing.T) {
+	f := func(src []float64) bool {
+		sh := make([]float64, len(src))
+		back := make([]float64, len(src))
+		Shuffle(sh, src)
+		Unshuffle(back, sh)
+		for i := range src {
+			if math.Float64bits(back[i]) != math.Float64bits(src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

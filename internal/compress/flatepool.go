@@ -1,0 +1,71 @@
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// FlatePool is a concurrency-friendly DEFLATE stage shared by the
+// codecs: writers are pooled per codec instance rather than mutex-
+// serialized, so SPMD ranks compress blocks in parallel (the paper's
+// per-rank compression is embarrassingly parallel and the engine's
+// strong scaling depends on it).
+type FlatePool struct {
+	// Level is the flate level; 0 means flate.BestSpeed (the paper
+	// favors compression speed).
+	Level int
+	pool  sync.Pool
+}
+
+// Deflate compresses src, appending to dst.
+func (p *FlatePool) Deflate(dst, src []byte) ([]byte, error) {
+	lvl := p.Level
+	if lvl == 0 {
+		lvl = flate.BestSpeed
+	}
+	var buf bytes.Buffer
+	w, _ := p.pool.Get().(*flate.Writer)
+	if w == nil {
+		var err error
+		w, err = flate.NewWriter(&buf, lvl)
+		if err != nil {
+			return nil, fmt.Errorf("compress: flate: %w", err)
+		}
+	} else {
+		w.Reset(&buf)
+	}
+	defer p.pool.Put(w)
+	if _, err := w.Write(src); err != nil {
+		return nil, fmt.Errorf("compress: flate: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("compress: flate: %w", err)
+	}
+	return append(dst, buf.Bytes()...), nil
+}
+
+// Inflate decompresses src fully.
+func Inflate(src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+	}
+	return out, nil
+}
+
+// InflateInto decompresses src into dst, which must be exactly the
+// decoded size.
+func InflateInto(dst, src []byte) error {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	if _, err := io.ReadFull(r, dst); err != nil {
+		return fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+	}
+	// Trailing garbage is tolerated (checkpoint containers pad).
+	return nil
+}

@@ -1,0 +1,98 @@
+// Package lossless provides the repository's Zstandard substitute: a
+// DEFLATE-backed lossless codec with an optional Blosc-style byte
+// shuffle. The paper compresses early-stage (mostly zero) state vectors
+// with Zstd before switching to lossy compression (§3.7); DEFLATE is the
+// same LZ77+entropy-coding family available in the Go standard library.
+package lossless
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"qcsim/internal/compress"
+)
+
+const magic = 0x5A // 'Z'
+
+// Codec is a lossless float64 block compressor. The zero value is valid;
+// use New for explicit construction. Codecs are safe for concurrent use.
+type Codec struct {
+	// Shuffle enables the byte-transpose preprocessing pass.
+	Shuffle bool
+
+	flate compress.FlatePool
+}
+
+// New returns a lossless codec at the given flate level (0 =
+// flate.BestSpeed) with optional byte shuffling.
+func New(level int, shuffle bool) *Codec {
+	return &Codec{Shuffle: shuffle, flate: compress.FlatePool{Level: level}}
+}
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string {
+	if c.Shuffle {
+		return "zstd-like+shuffle"
+	}
+	return "zstd-like"
+}
+
+// Compress implements compress.Codec. The mode in opt is recorded in the
+// header but reconstruction is always bit-exact.
+func (c *Codec) Compress(dst []byte, src []float64, opt compress.Options) ([]byte, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	hdr := compress.Header{Magic: magic, Mode: compress.Lossless, Count: uint32(len(src))}
+	dst = compress.AppendHeader(dst, hdr)
+	dst = append(dst, boolByte(c.Shuffle))
+
+	raw := make([]byte, len(src)*8)
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	if c.Shuffle {
+		sh := make([]byte, len(raw))
+		compress.ByteShuffle(sh, raw)
+		raw = sh
+	}
+	return c.flate.Deflate(dst, raw)
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(dst []float64, data []byte) error {
+	hdr, payload, err := compress.ParseHeader(data, magic)
+	if err != nil {
+		return err
+	}
+	if int(hdr.Count) != len(dst) {
+		return fmt.Errorf("%w: count %d, dst %d", compress.ErrCorrupt, hdr.Count, len(dst))
+	}
+	if len(payload) < 1 {
+		return fmt.Errorf("%w: missing shuffle flag", compress.ErrCorrupt)
+	}
+	shuffled := payload[0] != 0
+	payload = payload[1:]
+
+	raw := make([]byte, len(dst)*8)
+	if err := compress.InflateInto(raw, payload); err != nil {
+		return err
+	}
+	if shuffled {
+		un := make([]byte, len(raw))
+		compress.ByteUnshuffle(un, raw)
+		raw = un
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,104 @@
+package lossless
+
+import (
+	"compress/flate"
+	"testing"
+
+	"qcsim/internal/compress"
+	"qcsim/internal/compress/codectest"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.ConformanceLossless(t, New(flate.DefaultCompression, false))
+	codectest.ConformanceLossless(t, New(flate.BestSpeed, true))
+	codectest.ConformanceEmptyAndSmall(t, New(0, false))
+	codectest.ConformanceCorrupt(t, New(0, true))
+}
+
+func TestLossyModeIsStillExact(t *testing.T) {
+	// A lossless codec asked for a lossy bound must still reconstruct
+	// exactly (the simulator's level-0 path).
+	c := New(0, false)
+	data := codectest.Datasets(1024, 5)[8].Data // gaussian
+	out := codectest.RoundTrip(t, c, data, compress.Options{Mode: compress.PointwiseRelative, Bound: 1e-1})
+	for i := range data {
+		if data[i] != out[i] {
+			t.Fatalf("index %d not exact", i)
+		}
+	}
+}
+
+func TestZerosCompressWell(t *testing.T) {
+	// §3.7: early simulation states are mostly zero and must compress
+	// heavily under the lossless stage.
+	data := make([]float64, 1<<14)
+	data[3] = 1
+	c := New(0, false)
+	payload, err := c.Compress(nil, data, compress.Options{Mode: compress.Lossless})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := compress.Ratio(len(data), len(payload)); r < 100 {
+		t.Fatalf("zero-dominated block ratio = %.1f, want ≥ 100", r)
+	}
+}
+
+func TestShuffleHelpsConstantData(t *testing.T) {
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = 0.0078125 + float64(i%2)*1e-9
+	}
+	plain := New(0, false)
+	shuf := New(0, true)
+	p1, err := plain.Compress(nil, data, compress.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := shuf.Compress(nil, data, compress.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte shuffle should not be catastrophically worse; on this highly
+	// regular data both compress far below raw size.
+	if len(p1) > len(data)*2 || len(p2) > len(data)*2 {
+		t.Fatalf("regular data compressed poorly: plain=%d shuffle=%d raw=%d", len(p1), len(p2), len(data)*8)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(0, false).Name() != "zstd-like" || New(0, true).Name() != "zstd-like+shuffle" {
+		t.Fatal("names changed")
+	}
+}
+
+func TestConcurrentCompress(t *testing.T) {
+	c := New(0, false)
+	data := codectest.Datasets(512, 9)[5].Data
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				p, err := c.Compress(nil, data, compress.Options{})
+				if err != nil {
+					done <- err
+					return
+				}
+				out := make([]float64, len(data))
+				if err := c.Decompress(out, p); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentUseConformance(t *testing.T) {
+	codectest.ConformanceConcurrent(t, New(0, false))
+}

@@ -1,0 +1,65 @@
+// Package registry names the repository's codecs so CLIs and configs
+// can select them by string. It lives outside package compress to keep
+// the interface package dependency-free.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"qcsim/internal/compress"
+	"qcsim/internal/compress/fpziplike"
+	"qcsim/internal/compress/lossless"
+	"qcsim/internal/compress/szlike"
+	"qcsim/internal/compress/xortrunc"
+	"qcsim/internal/compress/zfplike"
+)
+
+// factories maps codec names (and their paper aliases) to constructors.
+// Every call returns a fresh instance so callers never share state
+// accidentally.
+var factories = map[string]func() compress.Codec{
+	"zstd-like":         func() compress.Codec { return lossless.New(0, false) },
+	"zstd-like+shuffle": func() compress.Codec { return lossless.New(0, true) },
+	"sz-a":              func() compress.Codec { return szlike.NewA() },
+	"sz-b":              func() compress.Codec { return szlike.NewB() },
+	"xor-c":             func() compress.Codec { return xortrunc.New() },
+	"xor-d":             func() compress.Codec { return xortrunc.NewShuffled() },
+	"zfp-like":          func() compress.Codec { return zfplike.New() },
+	"fpzip-like":        func() compress.Codec { return fpziplike.New() },
+}
+
+// aliases are the paper's Solution letters and common shorthands.
+var aliases = map[string]string{
+	"solution-a": "sz-a",
+	"solution-b": "sz-b",
+	"solution-c": "xor-c",
+	"solution-d": "xor-d",
+	"lossless":   "zstd-like",
+	"zstd":       "zstd-like",
+	"sz":         "sz-a",
+	"zfp":        "zfp-like",
+	"fpzip":      "fpzip-like",
+}
+
+// New returns a fresh codec by name or alias.
+func New(name string) (compress.Codec, error) {
+	if canonical, ok := aliases[name]; ok {
+		name = canonical
+	}
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown codec %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the canonical codec names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

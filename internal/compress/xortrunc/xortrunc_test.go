@@ -1,0 +1,260 @@
+package xortrunc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qcsim/internal/compress"
+	"qcsim/internal/compress/codectest"
+	"qcsim/internal/stats"
+)
+
+func TestConformanceC(t *testing.T) {
+	c := New()
+	codectest.ConformanceLossless(t, c)
+	codectest.ConformanceLossy(t, c, compress.PointwiseRelative)
+	codectest.ConformanceLossy(t, c, compress.Absolute)
+	codectest.ConformanceEmptyAndSmall(t, c)
+	codectest.ConformanceCorrupt(t, c)
+	codectest.ConformanceNonFinite(t, c, compress.PointwiseRelative)
+}
+
+func TestConformanceD(t *testing.T) {
+	d := NewShuffled()
+	codectest.ConformanceLossless(t, d)
+	codectest.ConformanceLossy(t, d, compress.PointwiseRelative)
+	codectest.ConformanceLossy(t, d, compress.Absolute)
+	codectest.ConformanceEmptyAndSmall(t, d)
+	codectest.ConformanceCorrupt(t, d)
+	codectest.ConformanceNonFinite(t, d, compress.PointwiseRelative)
+}
+
+func TestKeepBits(t *testing.T) {
+	// Paper Eq. 12: Sig_Bit_Count = Bit_Count(Sign&Exp) - EXP(ε).
+	cases := []struct {
+		bound float64
+		want  int
+	}{
+		{1e-1, 12 + 4},  // 2^-4 = 0.0625 ≤ 0.1
+		{1e-2, 12 + 7},  // 2^-7 ≈ 0.0078 ≤ 0.01
+		{1e-3, 12 + 10}, // 2^-10 ≈ 0.00098
+		{1e-4, 12 + 14},
+		{1e-5, 12 + 17},
+	}
+	for _, c := range cases {
+		got := KeepBits(compress.Options{Mode: compress.PointwiseRelative, Bound: c.bound}, 0)
+		if got != c.want {
+			t.Errorf("KeepBits(%g) = %d, want %d", c.bound, got, c.want)
+		}
+	}
+	if KeepBits(compress.Options{Mode: compress.Lossless}, 0) != 64 {
+		t.Error("lossless KeepBits != 64")
+	}
+}
+
+func TestOneSidedContract(t *testing.T) {
+	// Paper §3.7: |D'| must lie in [|D|(1-δ), |D|] — truncation only
+	// shrinks magnitudes.
+	rng := rand.New(rand.NewSource(21))
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Exp(rng.Float64()*6-3)
+	}
+	c := New()
+	for _, bound := range []float64{1e-1, 1e-3, 1e-5} {
+		opt := compress.Options{Mode: compress.PointwiseRelative, Bound: bound}
+		out := codectest.RoundTrip(t, c, data, opt)
+		for i := range data {
+			if math.Abs(out[i]) > math.Abs(data[i]) {
+				t.Fatalf("bound %g idx %d: |out| %g > |in| %g", bound, i, out[i], data[i])
+			}
+			if math.Abs(out[i]) < math.Abs(data[i])*(1-bound) {
+				t.Fatalf("bound %g idx %d: out %g below one-sided floor of %g", bound, i, out[i], data[i])
+			}
+			if math.Signbit(out[i]) != math.Signbit(data[i]) {
+				t.Fatalf("sign flipped at %d", i)
+			}
+		}
+	}
+}
+
+func TestErrorsUncorrelated(t *testing.T) {
+	// Paper §4.2: lag-1 autocorrelation of Solution C's relative errors
+	// on dense random data stays near zero.
+	rng := rand.New(rand.NewSource(33))
+	data := make([]float64, 1<<16)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	c := New()
+	opt := compress.Options{Mode: compress.PointwiseRelative, Bound: 1e-3}
+	out := codectest.RoundTrip(t, c, data, opt)
+	errs := make([]float64, len(data))
+	for i := range data {
+		errs[i] = (data[i] - out[i]) / data[i]
+	}
+	if r := math.Abs(stats.Lag1Autocorrelation(errs)); r > 0.01 {
+		t.Fatalf("lag-1 autocorrelation = %g, want ≈ 0", r)
+	}
+}
+
+func TestErrorsRoughlyUniform(t *testing.T) {
+	// Paper Fig. 14: normalized errors follow a uniform distribution.
+	// Within a single binade the dropped mantissa bits are iid uniform,
+	// so the *absolute* truncation error is uniform on [0, 2^(E-m));
+	// sample magnitudes from [1, 2) to pin the binade.
+	rng := rand.New(rand.NewSource(34))
+	data := make([]float64, 1<<15)
+	for i := range data {
+		data[i] = 1 + rng.Float64()
+		if rng.Intn(2) == 0 {
+			data[i] = -data[i]
+		}
+	}
+	c := New()
+	bound := 1e-2
+	out := codectest.RoundTrip(t, c, data, compress.Options{Mode: compress.PointwiseRelative, Bound: bound})
+	var abs []float64
+	for i := range data {
+		abs = append(abs, math.Abs(data[i]-out[i]))
+	}
+	_, hi := stats.MinMax(abs)
+	if hi > bound*2 { // |v| < 2 ⇒ abs error < 2·bound-ish ceiling
+		t.Fatalf("absolute error %g implausibly large", hi)
+	}
+	if d := stats.UniformityKS(abs, 0, hi); d > 0.02 {
+		t.Fatalf("KS distance from uniform = %g", d)
+	}
+	// And across binades the normalized error must never exceed 1.
+	for i := range data {
+		if n := math.Abs(data[i]-out[i]) / (math.Abs(data[i]) * bound); n > 1 {
+			t.Fatalf("normalized error %g exceeds 1 at %d", n, i)
+		}
+	}
+}
+
+func TestOverPreservation(t *testing.T) {
+	// Fig. 13/14: mean achieved error is well below the bound because
+	// truncation snaps to discrete bit planes.
+	rng := rand.New(rand.NewSource(35))
+	data := make([]float64, 1<<14)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	c := New()
+	bound := 1e-1
+	out := codectest.RoundTrip(t, c, data, compress.Options{Mode: compress.PointwiseRelative, Bound: bound})
+	var sum float64
+	n := 0
+	for i := range data {
+		if data[i] != 0 {
+			sum += math.Abs(data[i]-out[i]) / math.Abs(data[i])
+			n++
+		}
+	}
+	if mean := sum / float64(n); mean > bound/2 {
+		t.Fatalf("mean error %g not over-preserved vs bound %g", mean, bound)
+	}
+}
+
+func TestFig13WorkedExample(t *testing.T) {
+	// The paper's Fig. 13(b) uses 3.9921875 with ε = 0.01: the kept
+	// reconstruction must satisfy the bound with error ≤ 0.01.
+	data := []float64{3.9921875, 3.9921875}
+	c := New()
+	out := codectest.RoundTrip(t, c, data, compress.Options{Mode: compress.PointwiseRelative, Bound: 0.01})
+	rel := (data[0] - out[0]) / data[0]
+	if rel < 0 || rel > 0.01 {
+		t.Fatalf("relative error %g outside (0, 0.01]", rel)
+	}
+}
+
+func TestSolutionDEqualErrors(t *testing.T) {
+	// §4.2: C and D produce exactly the same compression errors — the
+	// reshuffle only reorders bytes for the dictionary stage.
+	rng := rand.New(rand.NewSource(36))
+	data := make([]float64, 2048)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	opt := compress.Options{Mode: compress.PointwiseRelative, Bound: 1e-3}
+	outC := codectest.RoundTrip(t, New(), data, opt)
+	outD := codectest.RoundTrip(t, NewShuffled(), data, opt)
+	for i := range outC {
+		if math.Float64bits(outC[i]) != math.Float64bits(outD[i]) {
+			t.Fatalf("C and D diverge at %d: %g vs %g", i, outC[i], outD[i])
+		}
+	}
+}
+
+func TestRatioImprovesWithLooserBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	data := make([]float64, 1<<14)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 1e-4
+	}
+	c := New()
+	var prev float64 = -1
+	for _, bound := range []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1} {
+		p, err := c.Compress(nil, data, compress.Options{Mode: compress.PointwiseRelative, Bound: bound})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := compress.Ratio(len(data), len(p))
+		if r < prev*0.95 { // allow tiny nonmonotonicity from flate
+			t.Fatalf("ratio fell from %.2f to %.2f when loosening to %g", prev, r, bound)
+		}
+		prev = r
+	}
+}
+
+func TestDenormalsViaExceptions(t *testing.T) {
+	data := []float64{5e-324, 1e-310, -3e-320, 1.5, 0}
+	c := New()
+	out := codectest.RoundTrip(t, c, data, compress.Options{Mode: compress.PointwiseRelative, Bound: 1e-5})
+	for i := range data {
+		if math.Abs(out[i]-data[i]) > 1e-5*math.Abs(data[i]) {
+			t.Fatalf("denormal %d: %g -> %g", i, data[i], out[i])
+		}
+	}
+}
+
+func TestDisableLossless(t *testing.T) {
+	c := &Codec{DisableLossless: true}
+	data := codectest.Datasets(1024, 41)[8].Data
+	out := codectest.RoundTrip(t, c, data, compress.Options{Mode: compress.PointwiseRelative, Bound: 1e-2})
+	_ = out
+}
+
+func TestQuickContract(t *testing.T) {
+	c := New()
+	f := func(raw []float64, boundSel uint8) bool {
+		data := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				data = append(data, v)
+			}
+		}
+		bounds := []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5}
+		opt := compress.Options{Mode: compress.PointwiseRelative, Bound: bounds[int(boundSel)%len(bounds)]}
+		p, err := c.Compress(nil, data, opt)
+		if err != nil {
+			return false
+		}
+		out := make([]float64, len(data))
+		if err := c.Decompress(out, p); err != nil {
+			return false
+		}
+		return compress.CheckBound(data, out, opt) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	codectest.ConformanceConcurrent(t, New())
+	codectest.ConformanceConcurrent(t, NewShuffled())
+}

@@ -1,0 +1,101 @@
+package core
+
+import "container/list"
+
+// blockCache is the compressed block cache of §3.4: an LRU map from
+// (gate signature, error level, compressed input block(s)) to the
+// compressed output block(s). When the quantum state carries
+// redundancy — many blocks sharing the same compressed form — a hit
+// replaces the decompress/compute/compress round trip with two copies.
+// If the state has no redundancy the cache never hits, so it disables
+// itself after a probation window, avoiding the paper's cache-miss
+// penalty.
+type blockCache struct {
+	cap      int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	lookups  int64
+	hits     int64
+	disabled bool
+	// probation is the number of lookups after which a hitless cache
+	// shuts off.
+	probation int64
+}
+
+type cacheEntry struct {
+	key  string
+	out1 []byte
+	out2 []byte // nil for single-block operations
+}
+
+func newBlockCache(lines int) *blockCache {
+	if lines <= 0 {
+		return nil
+	}
+	return &blockCache{
+		cap:       lines,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element, lines),
+		probation: 4 * int64(lines),
+	}
+}
+
+// key builds the lookup key from the gate signature, the escalation
+// level, and the raw compressed input blocks (cb2 nil for single-block
+// ops).
+func cacheKey(sig string, level int, cb1, cb2 []byte) string {
+	b := make([]byte, 0, len(sig)+len(cb1)+len(cb2)+4)
+	b = append(b, sig...)
+	b = append(b, 0, byte(level), 0)
+	b = append(b, cb1...)
+	b = append(b, 0)
+	b = append(b, cb2...)
+	return string(b)
+}
+
+// get returns the cached outputs for key, if present.
+func (c *blockCache) get(key string) (out1, out2 []byte, ok bool) {
+	if c == nil || c.disabled {
+		return nil, nil, false
+	}
+	c.lookups++
+	if el, hit := c.items[key]; hit {
+		c.hits++
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		return e.out1, e.out2, true
+	}
+	if c.hits == 0 && c.lookups >= c.probation {
+		// §3.4: no redundancy in the state — stop paying the miss
+		// penalty.
+		c.disabled = true
+		c.ll.Init()
+		c.items = nil
+	}
+	return nil, nil, false
+}
+
+// put stores the outputs; inputs are copied so later mutation of the
+// block store cannot corrupt the cache.
+func (c *blockCache) put(key string, out1, out2 []byte) {
+	if c == nil || c.disabled {
+		return
+	}
+	if el, hit := c.items[key]; hit {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.out1 = append([]byte(nil), out1...)
+		e.out2 = append([]byte(nil), out2...)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+	e := &cacheEntry{key: key, out1: append([]byte(nil), out1...)}
+	if out2 != nil {
+		e.out2 = append([]byte(nil), out2...)
+	}
+	c.items[key] = c.ll.PushFront(e)
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"qcsim/internal/quantum"
+)
+
+func TestCacheHitsOnRedundantState(t *testing.T) {
+	// A product state split over many identical blocks: applying the
+	// same gate to the same compressed content should hit after the
+	// first block (§3.4: amplitudes share values in structured
+	// circuits).
+	s := newSim(t, 10, 1, 16, func(c *Config) { c.CacheLines = 64 })
+	c := quantum.NewCircuit(10)
+	for q := 0; q < 4; q++ { // offset-segment targets only
+		c.H(q)
+	}
+	for q := 0; q < 4; q++ {
+		c.X(q)
+	}
+	if err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CacheLookups == 0 {
+		t.Fatal("cache never consulted")
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("no cache hits on a fully redundant state")
+	}
+	// Hits must not change the outcome.
+	ref := quantum.NewState(10)
+	ref.ApplyCircuit(c)
+	got, err := s.FullState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != ref.Amps[i] {
+			t.Fatalf("cache corrupted amplitude %d: %v vs %v", i, got[i], ref.Amps[i])
+		}
+	}
+}
+
+func TestCacheCorrectnessOnFullWorkload(t *testing.T) {
+	// Same circuit with and without cache must agree bit-for-bit.
+	c := quantum.Grover(5, 11, 2)
+	s1 := newSim(t, c.N, 2, 8, func(cfg *Config) { cfg.CacheLines = 64 })
+	s2 := newSim(t, c.N, 2, 8, nil)
+	if err := s1.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := s1.FullState()
+	a2, _ := s2.FullState()
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("cache changed amplitude %d", i)
+		}
+	}
+}
+
+func TestCacheSelfDisables(t *testing.T) {
+	// A supremacy circuit has no block redundancy; the cache must shut
+	// off after its probation window instead of burning lookups
+	// forever (§3.4's miss-penalty rule).
+	cir := quantum.Supremacy(3, 3, 12, 9)
+	s := newSim(t, cir.N, 1, 8, func(cfg *Config) { cfg.CacheLines = 4 })
+	if err := s.Run(cir); err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range s.ranks {
+		if rs.cache != nil && !rs.cache.disabled && rs.cache.hits == 0 && rs.cache.lookups > rs.cache.probation {
+			t.Fatalf("hitless cache still enabled after %d lookups", rs.cache.lookups)
+		}
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newBlockCache(2)
+	c.put(cacheKey("a", 0, []byte{1}, nil), []byte{10}, nil)
+	c.put(cacheKey("b", 0, []byte{2}, nil), []byte{20}, nil)
+	// Touch "a" so "b" is the LRU victim.
+	if _, _, ok := c.get(cacheKey("a", 0, []byte{1}, nil)); !ok {
+		t.Fatal("a missing")
+	}
+	c.put(cacheKey("c", 0, []byte{3}, nil), []byte{30}, nil)
+	if _, _, ok := c.get(cacheKey("b", 0, []byte{2}, nil)); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, _, ok := c.get(cacheKey("a", 0, []byte{1}, nil)); !ok {
+		t.Fatal("a evicted out of LRU order")
+	}
+	if out, _, ok := c.get(cacheKey("c", 0, []byte{3}, nil)); !ok || out[0] != 30 {
+		t.Fatal("c missing or wrong")
+	}
+}
+
+func TestCacheKeyIncludesLevel(t *testing.T) {
+	k0 := cacheKey("sig", 0, []byte{1, 2}, nil)
+	k1 := cacheKey("sig", 1, []byte{1, 2}, nil)
+	if k0 == k1 {
+		t.Fatal("cache key ignores error level")
+	}
+}
+
+func TestCacheCopiesValues(t *testing.T) {
+	c := newBlockCache(2)
+	val := []byte{42}
+	key := cacheKey("a", 0, []byte{1}, nil)
+	c.put(key, val, nil)
+	val[0] = 0 // mutate after insert
+	out, _, _ := c.get(key)
+	if out[0] != 42 {
+		t.Fatal("cache aliased caller's slice")
+	}
+}
+
+func TestNilCacheIsSafe(t *testing.T) {
+	var c *blockCache
+	if _, _, ok := c.get("x"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.put("x", []byte{1}, nil) // must not panic
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// Checkpointing (§3.5): the compressed blocks are written out as-is so a
+// job killed by a wall-time limit can resume from the last gate
+// boundary. The format is self-describing and checksummed.
+
+var checkpointMagic = [8]byte{'Q', 'C', 'S', 'I', 'M', 'C', 'K', '1'}
+
+// Save writes the full simulator state (geometry, ledger, measurement
+// log, per-rank levels and compressed blocks) to w.
+func (s *Simulator) Save(w io.Writer) error {
+	h := fnv.New64a()
+	mw := io.MultiWriter(w, h)
+	if _, err := mw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	hdr := []uint64{
+		uint64(s.cfg.Qubits),
+		uint64(s.rankBits),
+		uint64(s.blockBits),
+		uint64(s.offsetBits),
+		math.Float64bits(s.ledger),
+		uint64(s.gatesRun),
+		uint64(len(s.measurements)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(mw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, m := range s.measurements {
+		if err := binary.Write(mw, binary.LittleEndian, uint8(m)); err != nil {
+			return err
+		}
+	}
+	for _, rs := range s.ranks {
+		if err := binary.Write(mw, binary.LittleEndian, uint8(rs.level)); err != nil {
+			return err
+		}
+		if err := binary.Write(mw, binary.LittleEndian, uint32(len(rs.blocks))); err != nil {
+			return err
+		}
+		for _, blob := range rs.blocks {
+			if err := binary.Write(mw, binary.LittleEndian, uint32(len(blob))); err != nil {
+				return err
+			}
+			if _, err := mw.Write(blob); err != nil {
+				return err
+			}
+		}
+	}
+	// Trailing checksum (not itself checksummed).
+	return binary.Write(w, binary.LittleEndian, h.Sum64())
+}
+
+// Load restores a checkpoint written by Save into this simulator. The
+// simulator must have been built with the same Qubits, Ranks, and
+// BlockAmps geometry (codecs may differ only if they can decode the
+// stored blocks).
+func (s *Simulator) Load(r io.Reader) error {
+	h := fnv.New64a()
+	tr := io.TeeReader(r, h)
+	var magic [8]byte
+	if _, err := io.ReadFull(tr, magic[:]); err != nil {
+		return fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("core: not a checkpoint (magic %q)", magic[:])
+	}
+	var hdr [7]uint64
+	for i := range hdr {
+		if err := binary.Read(tr, binary.LittleEndian, &hdr[i]); err != nil {
+			return fmt.Errorf("core: checkpoint header: %w", err)
+		}
+	}
+	if int(hdr[0]) != s.cfg.Qubits || int(hdr[1]) != s.rankBits ||
+		int(hdr[2]) != s.blockBits || int(hdr[3]) != s.offsetBits {
+		return fmt.Errorf("core: checkpoint geometry (q=%d ρ=%d β=%d ω=%d) does not match simulator (q=%d ρ=%d β=%d ω=%d)",
+			hdr[0], hdr[1], hdr[2], hdr[3], s.cfg.Qubits, s.rankBits, s.blockBits, s.offsetBits)
+	}
+	ledger := math.Float64frombits(hdr[4])
+	gatesRun := int(hdr[5])
+	nMeas := int(hdr[6])
+	if nMeas < 0 || nMeas > gatesRun {
+		return fmt.Errorf("core: checkpoint measurement count %d invalid", nMeas)
+	}
+	meas := make([]int, nMeas)
+	for i := range meas {
+		var m uint8
+		if err := binary.Read(tr, binary.LittleEndian, &m); err != nil {
+			return fmt.Errorf("core: checkpoint measurements: %w", err)
+		}
+		meas[i] = int(m)
+	}
+	type rankImage struct {
+		level  int
+		blocks [][]byte
+	}
+	images := make([]rankImage, len(s.ranks))
+	for ri := range s.ranks {
+		var level uint8
+		if err := binary.Read(tr, binary.LittleEndian, &level); err != nil {
+			return fmt.Errorf("core: checkpoint rank %d: %w", ri, err)
+		}
+		if int(level) > len(s.cfg.ErrorLevels) {
+			return fmt.Errorf("core: checkpoint level %d out of range", level)
+		}
+		var nb uint32
+		if err := binary.Read(tr, binary.LittleEndian, &nb); err != nil {
+			return fmt.Errorf("core: checkpoint rank %d: %w", ri, err)
+		}
+		if int(nb) != s.blocksPerRank() {
+			return fmt.Errorf("core: checkpoint rank %d has %d blocks, want %d", ri, nb, s.blocksPerRank())
+		}
+		images[ri].level = int(level)
+		images[ri].blocks = make([][]byte, nb)
+		for b := range images[ri].blocks {
+			var bl uint32
+			if err := binary.Read(tr, binary.LittleEndian, &bl); err != nil {
+				return fmt.Errorf("core: checkpoint block length: %w", err)
+			}
+			if bl > 1<<30 {
+				return fmt.Errorf("core: checkpoint block of %d bytes implausible", bl)
+			}
+			blob := make([]byte, bl)
+			if _, err := io.ReadFull(tr, blob); err != nil {
+				return fmt.Errorf("core: checkpoint block: %w", err)
+			}
+			images[ri].blocks[b] = blob
+		}
+	}
+	want := h.Sum64()
+	var got uint64
+	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		return fmt.Errorf("core: checkpoint checksum: %w", err)
+	}
+	if got != want {
+		return fmt.Errorf("core: checkpoint checksum mismatch (file %#x, computed %#x)", got, want)
+	}
+	// Validate every block decodes before committing anything.
+	scratch := make([]float64, 2*s.blockAmps())
+	for ri := range images {
+		for _, blob := range images[ri].blocks {
+			if err := s.decodeBlob(blob, scratch); err != nil {
+				return fmt.Errorf("core: checkpoint rank %d undecodable: %w", ri, err)
+			}
+		}
+	}
+	// Commit.
+	s.ledger = ledger
+	s.gatesRun = gatesRun
+	s.measurements = meas
+	for ri, rs := range s.ranks {
+		rs.level = images[ri].level
+		var footprint int64
+		for b := range rs.blocks {
+			rs.blocks[b] = images[ri].blocks[b]
+			footprint += int64(len(rs.blocks[b]))
+		}
+		rs.stats.CurrentFootprint = footprint
+		if footprint > rs.stats.MaxFootprint {
+			rs.stats.MaxFootprint = footprint
+		}
+	}
+	return nil
+}

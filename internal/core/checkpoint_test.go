@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"qcsim/internal/quantum"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	// Run half a deep circuit, checkpoint, resume in a fresh simulator
+	// (§3.5's wall-time workflow), finish, and compare against an
+	// uninterrupted run.
+	full := quantum.QFT(8, 21)
+	half := len(full.Gates) / 2
+	first := &quantum.Circuit{N: 8, Gates: full.Gates[:half]}
+	second := &quantum.Circuit{N: 8, Gates: full.Gates[half:]}
+
+	s1 := newSim(t, 8, 2, 16, nil)
+	if err := s1.Run(first); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newSim(t, 8, 2, 16, nil)
+	if err := s2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if s2.GatesRun() != half {
+		t.Fatalf("restored GatesRun = %d, want %d", s2.GatesRun(), half)
+	}
+	if err := s2.Run(second); err != nil {
+		t.Fatal(err)
+	}
+
+	sFull := newSim(t, 8, 2, 16, nil)
+	if err := sFull.Run(full); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s2.FullState()
+	b, _ := sFull.FullState()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("resumed state differs at %d", i)
+		}
+	}
+}
+
+func TestCheckpointPreservesLedgerAndMeasurements(t *testing.T) {
+	s := newSim(t, 6, 1, 8, func(c *Config) { c.MemoryBudget = 256 })
+	c := quantum.NewCircuit(6)
+	for q := 0; q < 6; q++ {
+		c.H(q)
+	}
+	c.Measure(0)
+	if err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := newSim(t, 6, 1, 8, func(c *Config) { c.MemoryBudget = 256 })
+	if err := s2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if s2.FidelityLowerBound() != s.FidelityLowerBound() {
+		t.Fatalf("ledger lost: %v vs %v", s2.FidelityLowerBound(), s.FidelityLowerBound())
+	}
+	m1, m2 := s.Measurements(), s2.Measurements()
+	if len(m1) != 1 || len(m2) != 1 || m1[0] != m2[0] {
+		t.Fatalf("measurements lost: %v vs %v", m1, m2)
+	}
+}
+
+func TestCheckpointGeometryMismatch(t *testing.T) {
+	s := newSim(t, 6, 2, 8, nil)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrongQubits := newSim(t, 7, 2, 8, nil)
+	if err := wrongQubits.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("qubit mismatch accepted")
+	}
+	wrongRanks := newSim(t, 6, 4, 8, nil)
+	if err := wrongRanks.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	s := newSim(t, 6, 1, 8, nil)
+	if err := s.Run(quantum.GHZ(6)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle: the checksum must catch it.
+	raw := buf.Bytes()
+	corrupted := append([]byte(nil), raw...)
+	corrupted[len(corrupted)/2] ^= 0xFF
+	s2 := newSim(t, 6, 1, 8, nil)
+	if err := s2.Load(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+	// Truncation must also fail cleanly.
+	if err := s2.Load(bytes.NewReader(raw[:len(raw)/3])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	// Not-a-checkpoint input.
+	if err := s2.Load(bytes.NewReader([]byte("definitely not a checkpoint"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A failed load must leave the simulator usable.
+	if err := s2.Run(quantum.GHZ(6)); err != nil {
+		t.Fatalf("simulator broken after failed load: %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package core implements the paper's contribution: a full-state
+// Schrödinger-style quantum circuit simulator that keeps the state
+// vector compressed in memory at all times (§3).
+//
+// The 2^n amplitudes are partitioned across R = 2^ρ ranks; each rank's
+// slice is split into nb blocks of B amplitudes, every block stored in
+// compressed form. A gate decompresses at most two blocks per rank into
+// pre-allocated scratch buffers (the paper's MCDRAM working set, Eq. 8),
+// applies the 2×2 unitary to the amplitude pairs, and recompresses.
+// A hybrid adaptive pipeline (§3.7) starts lossless and relaxes through
+// pointwise-relative bounds 1E-5 → 1E-1 whenever the compressed
+// footprint exceeds the memory budget, while the fidelity ledger tracks
+// the lower bound Π(1-δᵢ) (Eq. 11). A 64-line LRU compressed-block
+// cache (§3.4) short-circuits repeated (gate, block-pair) computations.
+package core
+
+import (
+	"compress/flate"
+	"fmt"
+	"math/bits"
+
+	"qcsim/internal/compress"
+	"qcsim/internal/compress/lossless"
+	"qcsim/internal/compress/xortrunc"
+)
+
+// DefaultErrorLevels are the paper's five pointwise relative error
+// bounds, tightest first (§3.7). Level 0 is always the lossless stage.
+var DefaultErrorLevels = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+
+// Config parameterizes a Simulator.
+type Config struct {
+	// Qubits is the register width n; the simulator stores 2^n
+	// amplitudes (2^(n+4) bytes uncompressed, the paper's Table 1
+	// arithmetic).
+	Qubits int
+	// Ranks is the number of SPMD ranks (power of two). Defaults to 1.
+	Ranks int
+	// BlockAmps is the number of amplitudes per block (power of two;
+	// the paper uses 2^20 = 16 MB blocks). It is clamped to the
+	// per-rank slice size. Defaults to 4096 — laptop-scale blocks.
+	BlockAmps int
+	// Lossless is the level-0 codec. Defaults to the flate-backed
+	// Zstd substitute.
+	Lossless compress.Codec
+	// Lossy is the error-bounded codec for levels ≥ 1. Defaults to
+	// Solution C (xortrunc).
+	Lossy compress.Codec
+	// ErrorLevels are the lossy bounds in escalation order. Defaults
+	// to DefaultErrorLevels.
+	ErrorLevels []float64
+	// MemoryBudget caps the per-rank compressed footprint in bytes;
+	// exceeding it escalates the error level (§3.7). 0 means
+	// unlimited (the simulation stays lossless).
+	MemoryBudget int64
+	// CacheLines enables the compressed block cache with this many LRU
+	// lines when > 0 (the paper uses 64).
+	CacheLines int
+	// Uncompressed disables compression entirely: blocks are stored
+	// raw. This is the Intel-QS-equivalent baseline used by the
+	// overhead and scaling experiments.
+	Uncompressed bool
+	// FuseGates folds runs of adjacent single-qubit gates on the same
+	// target into one unitary before execution, cutting the per-gate
+	// decompress/recompress sweeps (and the Eq. 11 ledger charges)
+	// proportionally.
+	FuseGates bool
+	// Seed drives measurement collapse randomness.
+	Seed int64
+}
+
+// withDefaults returns a validated copy with defaults applied.
+func (c Config) withDefaults() (Config, error) {
+	if c.Qubits < 1 || c.Qubits > 62 {
+		return c, fmt.Errorf("core: qubits %d out of range", c.Qubits)
+	}
+	if c.Ranks == 0 {
+		c.Ranks = 1
+	}
+	if c.Ranks < 1 || bits.OnesCount(uint(c.Ranks)) != 1 {
+		return c, fmt.Errorf("core: ranks %d must be a power of two", c.Ranks)
+	}
+	perRank := c.Qubits - bits.TrailingZeros(uint(c.Ranks))
+	if perRank < 1 {
+		return c, fmt.Errorf("core: %d ranks leave no amplitudes per rank for %d qubits", c.Ranks, c.Qubits)
+	}
+	if c.BlockAmps == 0 {
+		c.BlockAmps = 4096
+	}
+	if c.BlockAmps < 2 || bits.OnesCount(uint(c.BlockAmps)) != 1 {
+		return c, fmt.Errorf("core: block size %d must be a power of two ≥ 2", c.BlockAmps)
+	}
+	if c.BlockAmps > 1<<uint(perRank) {
+		c.BlockAmps = 1 << uint(perRank)
+	}
+	if c.Lossless == nil {
+		c.Lossless = lossless.New(flate.BestSpeed, false)
+	}
+	if c.Lossy == nil {
+		c.Lossy = xortrunc.New()
+	}
+	if c.ErrorLevels == nil {
+		c.ErrorLevels = DefaultErrorLevels
+	}
+	for i := 1; i < len(c.ErrorLevels); i++ {
+		if c.ErrorLevels[i] <= c.ErrorLevels[i-1] {
+			return c, fmt.Errorf("core: error levels must be strictly increasing")
+		}
+	}
+	if c.CacheLines < 0 {
+		return c, fmt.Errorf("core: negative cache lines")
+	}
+	return c, nil
+}
+
+// MemoryRequirement returns the uncompressed state size in bytes for n
+// qubits: 2^(n+4) (double-precision complex amplitudes), the arithmetic
+// behind the paper's Table 1.
+func MemoryRequirement(n int) float64 {
+	// Computed in floating point so 61-qubit exabyte-scale numbers
+	// do not overflow int64 printing paths.
+	v := 1.0
+	for i := 0; i < n+4; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// MaxQubitsForMemory returns the largest register a machine with `bytes`
+// of memory can simulate without compression (Table 1's Max Qubits
+// column).
+func MaxQubitsForMemory(bytes float64) int {
+	n := 0
+	for MemoryRequirement(n+1) <= bytes {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,544 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"qcsim/internal/compress"
+	"qcsim/internal/mpi"
+	"qcsim/internal/quantum"
+)
+
+// Block storage tags: the first byte of every stored block identifies
+// how it was compressed so checkpoints are self-describing.
+const (
+	tagLossless byte = 0
+	tagLossy    byte = 1
+	tagRaw      byte = 2
+)
+
+// Simulator is the compressed-state engine. Construct with New, run
+// circuits with Run (repeatable — state persists across calls), inspect
+// with Amplitude/FullState/Stats, persist with Save/Load.
+type Simulator struct {
+	cfg Config
+
+	// Geometry (paper Fig. 3): global amplitude index =
+	// [rank bits | block bits | offset bits].
+	offsetBits int // log2(amplitudes per block)
+	blockBits  int // log2(blocks per rank)
+	rankBits   int // log2(ranks)
+
+	ranks []*rankState
+
+	gatesRun     int
+	measurements []int
+	bytesMoved   int64
+	rng          *rand.Rand
+
+	// ledger is the fidelity lower bound Π(1-δᵢ) over executed gates
+	// (Eq. 11).
+	ledger float64
+
+	// gateLevel[gi] is the max error level any rank used while
+	// executing gate gi of the current Run (atomic access).
+	gateLevel []uint32
+
+	noise *NoiseModel
+}
+
+// rankState is one rank's share: nb compressed blocks plus the two
+// scratch buffers of Eq. 8 (the MCDRAM working set).
+type rankState struct {
+	id       int
+	blocks   [][]byte
+	scratchX []float64
+	scratchY []float64
+	level    int
+	cache    *blockCache
+	stats    Stats
+	rng      *rand.Rand // per-rank noise stream (deterministic)
+}
+
+// New builds a Simulator initialized to |0...0⟩.
+func New(cfg Config) (*Simulator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:      cfg,
+		rankBits: bits.TrailingZeros(uint(cfg.Ranks)),
+		ledger:   1,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	perRank := cfg.Qubits - s.rankBits
+	s.offsetBits = bits.TrailingZeros(uint(cfg.BlockAmps))
+	if s.offsetBits > perRank {
+		s.offsetBits = perRank
+	}
+	s.blockBits = perRank - s.offsetBits
+	nb := 1 << uint(s.blockBits)
+
+	s.ranks = make([]*rankState, cfg.Ranks)
+	for r := range s.ranks {
+		rs := &rankState{
+			id:       r,
+			blocks:   make([][]byte, nb),
+			scratchX: make([]float64, 2*s.blockAmps()),
+			scratchY: make([]float64, 2*s.blockAmps()),
+			cache:    newBlockCache(cfg.CacheLines),
+			// The noise stream must be IDENTICAL on every rank: each
+			// rank draws the same variates per gate, so all ranks
+			// agree on whether (and which) Pauli fires — otherwise a
+			// cross-rank noise gate deadlocks half the pairs.
+			rng: rand.New(rand.NewSource(cfg.Seed ^ 0x9E3779B9)),
+		}
+		s.ranks[r] = rs
+	}
+	if err := s.Reset(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// blockAmps returns the amplitudes per block.
+func (s *Simulator) blockAmps() int { return 1 << uint(s.offsetBits) }
+
+// blocksPerRank returns nb.
+func (s *Simulator) blocksPerRank() int { return 1 << uint(s.blockBits) }
+
+// Qubits returns the register width.
+func (s *Simulator) Qubits() int { return s.cfg.Qubits }
+
+// Config returns the effective (defaulted) configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Reset reinitializes the state to |0...0⟩, keeping stats at zero and
+// the ledger at 1.
+func (s *Simulator) Reset() error {
+	for _, rs := range s.ranks {
+		rs.level = 0
+		rs.stats = Stats{}
+		for i := range rs.scratchX {
+			rs.scratchX[i] = 0
+		}
+		var footprint int64
+		for b := range rs.blocks {
+			if rs.id == 0 && b == 0 {
+				rs.scratchX[0] = 1 // amplitude of |0...0⟩
+			}
+			blob, err := s.compressBlock(rs, rs.scratchX)
+			if err != nil {
+				return err
+			}
+			rs.blocks[b] = blob
+			footprint += int64(len(blob))
+			if rs.id == 0 && b == 0 {
+				rs.scratchX[0] = 0
+			}
+		}
+		rs.stats.CurrentFootprint = footprint
+		rs.stats.MaxFootprint = footprint
+	}
+	s.ledger = 1
+	s.gatesRun = 0
+	s.measurements = nil
+	return nil
+}
+
+// SetBasisState re-initializes to |idx⟩.
+func (s *Simulator) SetBasisState(idx uint64) error {
+	if idx >= 1<<uint(s.cfg.Qubits) {
+		return fmt.Errorf("core: basis state %d out of range", idx)
+	}
+	if err := s.Reset(); err != nil {
+		return err
+	}
+	if idx == 0 {
+		return nil
+	}
+	r, b, o := s.locate(idx)
+	rs := s.ranks[r]
+	// Clear block (rank0,block0) then set the target block.
+	zero := make([]float64, 2*s.blockAmps())
+	blob0, err := s.compressBlock(s.ranks[0], zero)
+	if err != nil {
+		return err
+	}
+	s.updateBlock(s.ranks[0], 0, blob0)
+	zero[2*o] = 1
+	blob, err := s.compressBlock(rs, zero)
+	if err != nil {
+		return err
+	}
+	s.updateBlock(rs, b, blob)
+	return nil
+}
+
+// locate splits a global amplitude index into (rank, block, offset) per
+// the paper's Fig. 3 segmentation.
+func (s *Simulator) locate(idx uint64) (rank, block, offset int) {
+	offset = int(idx & uint64(s.blockAmps()-1))
+	block = int(idx >> uint(s.offsetBits) & uint64(s.blocksPerRank()-1))
+	rank = int(idx >> uint(s.offsetBits+s.blockBits))
+	return rank, block, offset
+}
+
+// compose rebuilds a global index from segments.
+func (s *Simulator) compose(rank, block, offset int) uint64 {
+	return uint64(rank)<<uint(s.offsetBits+s.blockBits) |
+		uint64(block)<<uint(s.offsetBits) | uint64(offset)
+}
+
+// compressBlock encodes scratch under the rank's current level,
+// appending the codec tag.
+func (s *Simulator) compressBlock(rs *rankState, scratch []float64) ([]byte, error) {
+	start := time.Now()
+	defer func() { rs.stats.CompressTime += time.Since(start) }()
+	if s.cfg.Uncompressed {
+		blob := make([]byte, 1+len(scratch)*8)
+		blob[0] = tagRaw
+		for i, v := range scratch {
+			binary.LittleEndian.PutUint64(blob[1+i*8:], math.Float64bits(v))
+		}
+		return blob, nil
+	}
+	if rs.level == 0 {
+		blob, err := s.cfg.Lossless.Compress([]byte{tagLossless}, scratch, compress.Options{Mode: compress.Lossless})
+		if err != nil {
+			return nil, fmt.Errorf("core: lossless compress: %w", err)
+		}
+		return blob, nil
+	}
+	bound := s.cfg.ErrorLevels[rs.level-1]
+	blob, err := s.cfg.Lossy.Compress([]byte{tagLossy}, scratch, compress.Options{Mode: compress.PointwiseRelative, Bound: bound})
+	if err != nil {
+		return nil, fmt.Errorf("core: lossy compress: %w", err)
+	}
+	return blob, nil
+}
+
+// decompressBlock decodes a stored block into scratch.
+func (s *Simulator) decompressBlock(rs *rankState, blob []byte, scratch []float64) error {
+	start := time.Now()
+	defer func() { rs.stats.DecompressTime += time.Since(start) }()
+	if len(blob) == 0 {
+		return fmt.Errorf("core: empty block")
+	}
+	switch blob[0] {
+	case tagRaw:
+		if len(blob) != 1+len(scratch)*8 {
+			return fmt.Errorf("core: raw block size %d", len(blob))
+		}
+		for i := range scratch {
+			scratch[i] = math.Float64frombits(binary.LittleEndian.Uint64(blob[1+i*8:]))
+		}
+		return nil
+	case tagLossless:
+		return s.cfg.Lossless.Decompress(scratch, blob[1:])
+	case tagLossy:
+		return s.cfg.Lossy.Decompress(scratch, blob[1:])
+	default:
+		return fmt.Errorf("core: unknown block tag %d", blob[0])
+	}
+}
+
+// updateBlock swaps in a freshly compressed block, maintaining footprint
+// accounting and the §3.7 escalation rule.
+func (s *Simulator) updateBlock(rs *rankState, b int, blob []byte) {
+	rs.stats.CurrentFootprint += int64(len(blob)) - int64(len(rs.blocks[b]))
+	rs.blocks[b] = blob
+	if rs.stats.CurrentFootprint > rs.stats.MaxFootprint {
+		rs.stats.MaxFootprint = rs.stats.CurrentFootprint
+	}
+	if s.cfg.MemoryBudget > 0 && rs.stats.CurrentFootprint > s.cfg.MemoryBudget &&
+		rs.level < len(s.cfg.ErrorLevels) && !s.cfg.Uncompressed {
+		rs.level++
+		rs.stats.Escalations++
+		if rs.level > rs.stats.FinalLevel {
+			rs.stats.FinalLevel = rs.level
+		}
+	}
+}
+
+// noteLevel records the level a rank used while executing gate gi, for
+// the fidelity ledger.
+func (s *Simulator) noteLevel(rs *rankState, gi int) {
+	lvl := uint32(rs.level)
+	if rs.level > rs.stats.FinalLevel {
+		rs.stats.FinalLevel = rs.level
+	}
+	for {
+		cur := atomic.LoadUint32(&s.gateLevel[gi])
+		if cur >= lvl || atomic.CompareAndSwapUint32(&s.gateLevel[gi], cur, lvl) {
+			return
+		}
+	}
+}
+
+// Run executes the circuit on the current state. It may be called
+// repeatedly; state, stats, and the fidelity ledger accumulate.
+func (s *Simulator) Run(c *quantum.Circuit) error {
+	if c.N != s.cfg.Qubits {
+		return fmt.Errorf("core: circuit has %d qubits, simulator %d", c.N, s.cfg.Qubits)
+	}
+	if s.cfg.FuseGates {
+		c = quantum.FuseSingleQubitGates(c)
+	}
+	s.gateLevel = make([]uint32, len(c.Gates))
+	measured := make([][]int, s.cfg.Ranks)
+	comms, err := mpi.Run(s.cfg.Ranks, func(comm *mpi.Comm) {
+		rs := s.ranks[comm.Rank()]
+		for gi, g := range c.Gates {
+			if g.Kind == quantum.KindMeasure {
+				out := s.measureRank(comm, rs, g.Target, gi)
+				if comm.Rank() == 0 {
+					measured[0] = append(measured[0], out)
+				}
+				continue
+			}
+			if err := s.applyGateRank(comm, rs, g, gi); err != nil {
+				panic(err)
+			}
+			if s.noise != nil {
+				s.applyNoiseRank(comm, rs, g, gi)
+			}
+		}
+		rs.stats.Gates += len(c.Gates)
+	})
+	if err != nil {
+		return err
+	}
+	for i, comm := range comms {
+		s.ranks[i].stats.CommTime += comm.CommTime()
+		s.bytesMoved += comm.BytesMoved()
+	}
+	s.measurements = append(s.measurements, measured[0]...)
+	// Fold per-gate max levels into the ledger (Eq. 11).
+	for _, lvl := range s.gateLevel {
+		if lvl > 0 {
+			s.ledger *= 1 - s.cfg.ErrorLevels[lvl-1]
+		}
+	}
+	s.gatesRun += len(c.Gates)
+	return nil
+}
+
+// splitControls partitions control qubits into offset-, block-, and
+// rank-segment masks (§3.3's three cases for the control position).
+func (s *Simulator) splitControls(controls []int) (offMask uint64, blkMask, rankMask int) {
+	for _, c := range controls {
+		switch {
+		case c < s.offsetBits:
+			offMask |= 1 << uint(c)
+		case c < s.offsetBits+s.blockBits:
+			blkMask |= 1 << uint(c-s.offsetBits)
+		default:
+			rankMask |= 1 << uint(c-s.offsetBits-s.blockBits)
+		}
+	}
+	return offMask, blkMask, rankMask
+}
+
+// applyGateRank executes one unitary gate on this rank's blocks,
+// dispatching on the target qubit's index segment (§3.3).
+func (s *Simulator) applyGateRank(comm *mpi.Comm, rs *rankState, g quantum.Gate, gi int) error {
+	offCtrl, blkCtrl, rankCtrl := s.splitControls(g.Controls)
+	if rs.id&rankCtrl != rankCtrl {
+		// §3.3: control in the rank segment is |0⟩ here — the whole
+		// rank is unmodified. Cross-rank partners share the control
+		// bit, so no peer is left waiting.
+		return nil
+	}
+	q := g.Target
+	switch {
+	case q < s.offsetBits:
+		return s.applyLocal(rs, g, gi, offCtrl, blkCtrl)
+	case q < s.offsetBits+s.blockBits:
+		return s.applyCrossBlock(rs, g, gi, offCtrl, blkCtrl)
+	default:
+		return s.applyCrossRank(comm, rs, g, gi, offCtrl, blkCtrl)
+	}
+}
+
+// applyLocal handles targets inside the offset segment: both amplitudes
+// of every pair live in the same block.
+func (s *Simulator) applyLocal(rs *rankState, g quantum.Gate, gi int, offCtrl uint64, blkCtrl int) error {
+	tMask := 1 << uint(g.Target)
+	nb := s.blocksPerRank()
+	for b := 0; b < nb; b++ {
+		if b&blkCtrl != blkCtrl {
+			continue // §3.3: whole block unmodified
+		}
+		key := ""
+		if rs.cache != nil {
+			key = cacheKey(g.Signature(), rs.level, rs.blocks[b], nil)
+			if out1, _, ok := rs.cache.get(key); ok {
+				rs.stats.CacheHits++
+				rs.stats.CacheLookups++
+				s.updateBlock(rs, b, append([]byte(nil), out1...))
+				s.noteLevel(rs, gi)
+				continue
+			}
+			rs.stats.CacheLookups++
+		}
+		if err := s.decompressBlock(rs, rs.blocks[b], rs.scratchX); err != nil {
+			return err
+		}
+		start := time.Now()
+		x := rs.scratchX
+		ba := s.blockAmps()
+		for base := 0; base < ba; base += tMask << 1 {
+			for o := base; o < base+tMask; o++ {
+				if uint64(o)&offCtrl != offCtrl {
+					continue
+				}
+				applyPair(g.U, x, o, o|tMask)
+			}
+		}
+		rs.stats.ComputeTime += time.Since(start)
+		blob, err := s.compressBlock(rs, rs.scratchX)
+		if err != nil {
+			return err
+		}
+		s.updateBlock(rs, b, blob)
+		s.noteLevel(rs, gi)
+		if rs.cache != nil {
+			rs.cache.put(key, blob, nil)
+		}
+	}
+	return nil
+}
+
+// applyCrossBlock handles targets in the block segment: the pair spans
+// two blocks of the same rank (at most two decompressed at once, §3.1).
+func (s *Simulator) applyCrossBlock(rs *rankState, g quantum.Gate, gi int, offCtrl uint64, blkCtrl int) error {
+	tb := 1 << uint(g.Target-s.offsetBits)
+	nb := s.blocksPerRank()
+	for b := 0; b < nb; b++ {
+		if b&tb != 0 || b&blkCtrl != blkCtrl {
+			continue
+		}
+		pb := b | tb
+		key := ""
+		if rs.cache != nil {
+			key = cacheKey(g.Signature(), rs.level, rs.blocks[b], rs.blocks[pb])
+			if out1, out2, ok := rs.cache.get(key); ok {
+				rs.stats.CacheHits++
+				rs.stats.CacheLookups++
+				s.updateBlock(rs, b, append([]byte(nil), out1...))
+				s.updateBlock(rs, pb, append([]byte(nil), out2...))
+				s.noteLevel(rs, gi)
+				continue
+			}
+			rs.stats.CacheLookups++
+		}
+		if err := s.decompressBlock(rs, rs.blocks[b], rs.scratchX); err != nil {
+			return err
+		}
+		if err := s.decompressBlock(rs, rs.blocks[pb], rs.scratchY); err != nil {
+			return err
+		}
+		start := time.Now()
+		x, y := rs.scratchX, rs.scratchY
+		ba := s.blockAmps()
+		for o := 0; o < ba; o++ {
+			if uint64(o)&offCtrl != offCtrl {
+				continue
+			}
+			applyPairSplit(g.U, x, y, o)
+		}
+		rs.stats.ComputeTime += time.Since(start)
+		blobX, err := s.compressBlock(rs, rs.scratchX)
+		if err != nil {
+			return err
+		}
+		s.updateBlock(rs, b, blobX)
+		blobY, err := s.compressBlock(rs, rs.scratchY)
+		if err != nil {
+			return err
+		}
+		s.updateBlock(rs, pb, blobY)
+		s.noteLevel(rs, gi)
+		if rs.cache != nil {
+			rs.cache.put(key, blobX, blobY)
+		}
+	}
+	return nil
+}
+
+// applyCrossRank handles targets in the rank segment: block pairs span
+// two ranks and are exchanged (§3.3 third case).
+func (s *Simulator) applyCrossRank(comm *mpi.Comm, rs *rankState, g quantum.Gate, gi int, offCtrl uint64, blkCtrl int) error {
+	tr := 1 << uint(g.Target-s.offsetBits-s.blockBits)
+	peer := rs.id ^ tr
+	lowSide := rs.id&tr == 0 // this rank holds the target-bit-0 half
+	nb := s.blocksPerRank()
+	for b := 0; b < nb; b++ {
+		if b&blkCtrl != blkCtrl {
+			continue
+		}
+		if err := s.decompressBlock(rs, rs.blocks[b], rs.scratchX); err != nil {
+			return err
+		}
+		comm.SendRecv(peer, rs.scratchX, rs.scratchY)
+		start := time.Now()
+		x, y := rs.scratchX, rs.scratchY
+		ba := s.blockAmps()
+		u := g.U
+		for o := 0; o < ba; o++ {
+			if uint64(o)&offCtrl != offCtrl {
+				continue
+			}
+			re, im := 2*o, 2*o+1
+			if lowSide {
+				a0 := complex(x[re], x[im])
+				a1 := complex(y[re], y[im])
+				n0 := u[0][0]*a0 + u[0][1]*a1
+				x[re], x[im] = real(n0), imag(n0)
+			} else {
+				a0 := complex(y[re], y[im])
+				a1 := complex(x[re], x[im])
+				n1 := u[1][0]*a0 + u[1][1]*a1
+				x[re], x[im] = real(n1), imag(n1)
+			}
+		}
+		rs.stats.ComputeTime += time.Since(start)
+		blob, err := s.compressBlock(rs, rs.scratchX)
+		if err != nil {
+			return err
+		}
+		s.updateBlock(rs, b, blob)
+		s.noteLevel(rs, gi)
+	}
+	return nil
+}
+
+// applyPair applies u to the amplitude pair at indices (i, j) of one
+// interleaved scratch buffer (paper Eq. 6).
+func applyPair(u quantum.Matrix2, x []float64, i, j int) {
+	a0 := complex(x[2*i], x[2*i+1])
+	a1 := complex(x[2*j], x[2*j+1])
+	n0 := u[0][0]*a0 + u[0][1]*a1
+	n1 := u[1][0]*a0 + u[1][1]*a1
+	x[2*i], x[2*i+1] = real(n0), imag(n0)
+	x[2*j], x[2*j+1] = real(n1), imag(n1)
+}
+
+// applyPairSplit applies u to amplitude o of the low block x and the
+// same offset of the high block y.
+func applyPairSplit(u quantum.Matrix2, x, y []float64, o int) {
+	re, im := 2*o, 2*o+1
+	a0 := complex(x[re], x[im])
+	a1 := complex(y[re], y[im])
+	n0 := u[0][0]*a0 + u[0][1]*a1
+	n1 := u[1][0]*a0 + u[1][1]*a1
+	x[re], x[im] = real(n0), imag(n0)
+	y[re], y[im] = real(n1), imag(n1)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"qcsim/internal/quantum"
+)
+
+func TestExpectationZBasis(t *testing.T) {
+	s := newSim(t, 4, 2, 4, nil)
+	if err := s.Run(quantum.NewCircuit(4).X(1)); err != nil {
+		t.Fatal(err)
+	}
+	z0, _ := s.ExpectationZ(0)
+	z1, _ := s.ExpectationZ(1)
+	if math.Abs(z0-1) > 1e-12 || math.Abs(z1+1) > 1e-12 {
+		t.Fatalf("⟨Z0⟩=%v ⟨Z1⟩=%v", z0, z1)
+	}
+	if _, err := s.ExpectationZ(9); err == nil {
+		t.Fatal("out-of-range qubit accepted")
+	}
+}
+
+func TestExpectationZSuperposition(t *testing.T) {
+	s := newSim(t, 3, 1, 4, nil)
+	if err := s.Run(quantum.NewCircuit(3).H(0)); err != nil {
+		t.Fatal(err)
+	}
+	z, _ := s.ExpectationZ(0)
+	if math.Abs(z) > 1e-12 {
+		t.Fatalf("⟨Z⟩ of H|0⟩ = %v", z)
+	}
+}
+
+func TestExpectationZZBellState(t *testing.T) {
+	s := newSim(t, 4, 2, 4, nil)
+	if err := s.Run(quantum.NewCircuit(4).H(0).CNOT(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	zz, err := s.ExpectationZZ(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zz-1) > 1e-12 {
+		t.Fatalf("⟨Z0Z1⟩ of Bell pair = %v, want 1 (perfect correlation)", zz)
+	}
+	// Anti-correlated pair: X on one side.
+	s2 := newSim(t, 4, 2, 4, nil)
+	if err := s2.Run(quantum.NewCircuit(4).H(0).CNOT(0, 1).X(1)); err != nil {
+		t.Fatal(err)
+	}
+	zz2, _ := s2.ExpectationZZ(0, 1)
+	if math.Abs(zz2+1) > 1e-12 {
+		t.Fatalf("anti-correlated ⟨ZZ⟩ = %v", zz2)
+	}
+}
+
+func TestMaxCutEnergyMatchesReference(t *testing.T) {
+	// QAOA on a known graph: compare against the dense reference's
+	// direct computation.
+	n := 8
+	edges := quantum.RandomRegularGraph(n, 4, 9)
+	cir := quantum.QAOA(n, 2, 9)
+	s := newSim(t, n, 2, 16, nil)
+	if err := s.Run(cir); err != nil {
+		t.Fatal(err)
+	}
+	cutEdges := make([]CutEdge, len(edges))
+	for i, e := range edges {
+		cutEdges[i] = CutEdge{e.U, e.V}
+	}
+	got, err := s.MaxCutEnergy(cutEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct: Σ_z P(z)·cut(z).
+	ref := quantum.NewState(n)
+	ref.ApplyCircuit(cir)
+	var want float64
+	for z := range ref.Amps {
+		p := ref.Probability(uint64(z))
+		cut := 0
+		for _, e := range edges {
+			if (z>>uint(e.U))&1 != (z>>uint(e.V))&1 {
+				cut++
+			}
+		}
+		want += p * float64(cut)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MaxCutEnergy = %v, reference %v", got, want)
+	}
+	if _, err := s.MaxCutEnergy([]CutEdge{{1, 1}}); err == nil {
+		t.Fatal("self loop accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qcsim/internal/compress"
+	"qcsim/internal/compress/szlike"
+	"qcsim/internal/compress/xortrunc"
+	"qcsim/internal/quantum"
+)
+
+// Failure injection: the engine must fail loudly and cleanly, never
+// silently corrupt state.
+
+func TestCorruptedBlockFailsRun(t *testing.T) {
+	s := newSim(t, 6, 2, 8, nil)
+	if err := s.Run(quantum.GHZ(6)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a stored block behind the engine's back.
+	blob := s.ranks[1].blocks[0]
+	for i := range blob {
+		blob[i] ^= 0xA5
+	}
+	err := s.Run(quantum.NewCircuit(6).H(0))
+	if err == nil {
+		t.Fatal("run succeeded over a corrupted block")
+	}
+}
+
+func TestCorruptedBlockFailsInspection(t *testing.T) {
+	s := newSim(t, 6, 1, 8, nil)
+	if err := s.Run(quantum.GHZ(6)); err != nil {
+		t.Fatal(err)
+	}
+	s.ranks[0].blocks[2] = []byte{0xFF, 0x00}
+	if _, err := s.FullState(); err == nil {
+		t.Fatal("FullState succeeded over garbage block")
+	}
+	if _, err := s.Norm(); err == nil {
+		t.Fatal("Norm succeeded over garbage block")
+	}
+	if _, err := s.Amplitude(uint64(2 * 8)); err == nil {
+		t.Fatal("Amplitude succeeded over garbage block")
+	}
+}
+
+func TestCheckpointCodecMismatch(t *testing.T) {
+	// A checkpoint written with one lossy codec cannot silently load
+	// into a simulator configured with another: block magics differ.
+	mkA := func() *Simulator {
+		s, err := New(Config{Qubits: 6, Ranks: 1, BlockAmps: 8, Seed: 1,
+			Lossy: xortrunc.New(), MemoryBudget: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := mkA()
+	if err := a.Run(quantum.QFT(6, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().FinalLevel == 0 {
+		t.Skip("budget did not force lossy blocks; mismatch not exercised")
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Qubits: 6, Ranks: 1, BlockAmps: 8, Seed: 1,
+		Lossy: szlike.NewA(), MemoryBudget: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("checkpoint with mismatched lossy codec loaded")
+	} else if !strings.Contains(err.Error(), "undecodable") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestEmptyBlockRejected(t *testing.T) {
+	s := newSim(t, 4, 1, 4, nil)
+	s.ranks[0].blocks[0] = nil
+	if _, err := s.FullState(); err == nil {
+		t.Fatal("nil block accepted")
+	}
+}
+
+// failingCodec always errors on compression, to exercise the engine's
+// error path out of mpi.Run.
+type failingCodec struct{ compress.Codec }
+
+func (failingCodec) Compress([]byte, []float64, compress.Options) ([]byte, error) {
+	return nil, compress.ErrCorrupt
+}
+
+func TestCompressorFailurePropagates(t *testing.T) {
+	_, err := New(Config{Qubits: 4, Ranks: 2, BlockAmps: 4, Lossless: failingCodec{}})
+	if err == nil {
+		t.Fatal("construction succeeded with a failing codec")
+	}
+}
+
+func TestRunFailurePropagatesFromRank(t *testing.T) {
+	// Build a healthy sim, then swap in a failing lossy codec and force
+	// escalation: the rank panic must surface as an error, not a hang.
+	s := newSim(t, 6, 2, 8, func(c *Config) {
+		c.MemoryBudget = 1
+		c.Lossy = failingCodec{}
+	})
+	err := s.Run(quantum.QFT(6, 2))
+	if err == nil {
+		t.Fatal("run succeeded with failing lossy codec under budget pressure")
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"qcsim/internal/quantum"
+)
+
+func TestFuseGatesEquivalentState(t *testing.T) {
+	cir := quantum.RandomCircuit(8, 200, 19)
+	plain := newSim(t, 8, 2, 16, nil)
+	fused := newSim(t, 8, 2, 16, func(c *Config) { c.FuseGates = true })
+	if err := plain.Run(cir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fused.Run(cir); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := plain.FullState()
+	b, _ := fused.FullState()
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-11 {
+			t.Fatalf("fusion changed amplitude %d by %g", i, cmplx.Abs(a[i]-b[i]))
+		}
+	}
+	if fused.GatesRun() >= plain.GatesRun() {
+		t.Fatalf("fusion did not reduce executed gates: %d vs %d", fused.GatesRun(), plain.GatesRun())
+	}
+}
+
+func TestFuseGatesImprovesLedger(t *testing.T) {
+	// Fewer executed gates ⇒ fewer (1-δ) factors under a tight budget.
+	cir := quantum.RandomCircuit(8, 150, 23)
+	mk := func(fuse bool) *Simulator {
+		return newSim(t, 8, 1, 32, func(c *Config) {
+			c.MemoryBudget = 1 // force max escalation immediately
+			c.FuseGates = fuse
+		})
+	}
+	plain, fused := mk(false), mk(true)
+	if err := plain.Run(cir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fused.Run(cir); err != nil {
+		t.Fatal(err)
+	}
+	if fused.FidelityLowerBound() <= plain.FidelityLowerBound() {
+		t.Fatalf("fused ledger %v not above plain %v",
+			fused.FidelityLowerBound(), plain.FidelityLowerBound())
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// decodeBlob decompresses a stored block without touching rank stats —
+// the inspection path, so reading the state never skews the Table 2
+// time breakdown.
+func (s *Simulator) decodeBlob(blob []byte, scratch []float64) error {
+	if len(blob) == 0 {
+		return fmt.Errorf("core: empty block")
+	}
+	switch blob[0] {
+	case tagRaw:
+		if len(blob) != 1+len(scratch)*8 {
+			return fmt.Errorf("core: raw block size %d", len(blob))
+		}
+		for i := range scratch {
+			scratch[i] = math.Float64frombits(leUint64(blob[1+i*8:]))
+		}
+		return nil
+	case tagLossless:
+		return s.cfg.Lossless.Decompress(scratch, blob[1:])
+	case tagLossy:
+		return s.cfg.Lossy.Decompress(scratch, blob[1:])
+	default:
+		return fmt.Errorf("core: unknown block tag %d", blob[0])
+	}
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Amplitude returns ⟨idx|ψ⟩, decompressing only the containing block.
+func (s *Simulator) Amplitude(idx uint64) (complex128, error) {
+	if idx >= 1<<uint(s.cfg.Qubits) {
+		return 0, fmt.Errorf("core: amplitude index %d out of range", idx)
+	}
+	r, b, o := s.locate(idx)
+	scratch := make([]float64, 2*s.blockAmps())
+	if err := s.decodeBlob(s.ranks[r].blocks[b], scratch); err != nil {
+		return 0, err
+	}
+	return complex(scratch[2*o], scratch[2*o+1]), nil
+}
+
+// FullState decompresses the whole state vector (test scales only).
+func (s *Simulator) FullState() ([]complex128, error) {
+	if s.cfg.Qubits > 26 {
+		return nil, fmt.Errorf("core: FullState on %d qubits would allocate %s", s.cfg.Qubits, fmtBytes(MemoryRequirement(s.cfg.Qubits)))
+	}
+	out := make([]complex128, 1<<uint(s.cfg.Qubits))
+	scratch := make([]float64, 2*s.blockAmps())
+	for r, rs := range s.ranks {
+		for b := range rs.blocks {
+			if err := s.decodeBlob(rs.blocks[b], scratch); err != nil {
+				return nil, err
+			}
+			base := s.compose(r, b, 0)
+			for o := 0; o < s.blockAmps(); o++ {
+				out[base+uint64(o)] = complex(scratch[2*o], scratch[2*o+1])
+			}
+		}
+	}
+	return out, nil
+}
+
+// Norm returns Σ|aᵢ|² across the full compressed state.
+func (s *Simulator) Norm() (float64, error) {
+	var n float64
+	scratch := make([]float64, 2*s.blockAmps())
+	for _, rs := range s.ranks {
+		for b := range rs.blocks {
+			if err := s.decodeBlob(rs.blocks[b], scratch); err != nil {
+				return 0, err
+			}
+			for _, v := range scratch {
+				n += v * v
+			}
+		}
+	}
+	return n, nil
+}
+
+// ProbabilityOne returns P(qubit q = 1) without collapsing.
+func (s *Simulator) ProbabilityOne(q int) (float64, error) {
+	if q < 0 || q >= s.cfg.Qubits {
+		return 0, fmt.Errorf("core: qubit %d out of range", q)
+	}
+	var p float64
+	scratch := make([]float64, 2*s.blockAmps())
+	for r, rs := range s.ranks {
+		for b := range rs.blocks {
+			base := s.compose(r, b, 0)
+			if base&(1<<uint(q)) == 0 && q >= s.offsetBits {
+				continue // whole block has q=0
+			}
+			if err := s.decodeBlob(rs.blocks[b], scratch); err != nil {
+				return 0, err
+			}
+			for o := 0; o < s.blockAmps(); o++ {
+				idx := base + uint64(o)
+				if idx&(1<<uint(q)) == 0 {
+					continue
+				}
+				re, im := scratch[2*o], scratch[2*o+1]
+				p += re*re + im*im
+			}
+		}
+	}
+	return p, nil
+}
+
+// Sample draws `shots` full-register outcomes from the compressed state
+// without collapsing it (test scales).
+func (s *Simulator) Sample(rng *rand.Rand, shots int) ([]uint64, error) {
+	amps, err := s.FullState()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, shots)
+	for k := range out {
+		r := rng.Float64()
+		var acc float64
+		for i, a := range amps {
+			acc += real(a)*real(a) + imag(a)*imag(a)
+			if r < acc {
+				out[k] = uint64(i)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// Stats returns the aggregate across ranks.
+func (s *Simulator) Stats() Stats {
+	var agg Stats
+	for _, rs := range s.ranks {
+		agg = agg.Add(rs.stats)
+	}
+	return agg
+}
+
+// RankStats returns one rank's accounting.
+func (s *Simulator) RankStats(r int) Stats { return s.ranks[r].stats }
+
+// CompressedFootprint returns the current total compressed bytes across
+// ranks.
+func (s *Simulator) CompressedFootprint() int64 {
+	var t int64
+	for _, rs := range s.ranks {
+		t += rs.stats.CurrentFootprint
+	}
+	return t
+}
+
+// CompressionRatio returns uncompressed-state-bytes over the current
+// footprint.
+func (s *Simulator) CompressionRatio() float64 {
+	fp := s.CompressedFootprint()
+	if fp == 0 {
+		return 0
+	}
+	return MemoryRequirement(s.cfg.Qubits) / float64(fp)
+}
+
+// GatesRun returns the number of gates executed so far.
+func (s *Simulator) GatesRun() int { return s.gatesRun }
+
+// BytesMoved returns the cumulative cross-rank communication volume.
+func (s *Simulator) BytesMoved() int64 { return s.bytesMoved }
+
+// bytesMovedForTest aliases BytesMoved for the package tests.
+func (s *Simulator) bytesMovedForTest() int64 { return s.bytesMoved }
+
+func fmtBytes(b float64) string {
+	units := []string{"B", "KB", "MB", "GB", "TB", "PB", "EB"}
+	i := 0
+	for b >= 1024 && i < len(units)-1 {
+		b /= 1024
+		i++
+	}
+	return fmt.Sprintf("%.1f %s", b, units[i])
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"qcsim/internal/mpi"
+	"qcsim/internal/quantum"
+)
+
+// NoiseModel implements the paper's future-work direction (§6): folding
+// stochastic device noise into the simulation alongside the (already
+// uncorrelated) compression error. It is a quantum-trajectories
+// depolarizing channel: after each gate, with probability Prob, a
+// uniformly random Pauli is applied to the gate's target qubit.
+type NoiseModel struct {
+	// Prob is the per-gate depolarizing probability in [0, 1).
+	Prob float64
+}
+
+// SetNoise installs (or, with nil, removes) the noise model. Every rank
+// derives the same Pauli insertions from its deterministic noise stream,
+// so the trajectory is consistent across the distributed state.
+func (s *Simulator) SetNoise(m *NoiseModel) error {
+	if m != nil && (m.Prob < 0 || m.Prob >= 1) {
+		return fmt.Errorf("core: depolarizing probability %v out of [0,1)", m.Prob)
+	}
+	s.noise = m
+	return nil
+}
+
+// applyNoiseRank draws from the rank's noise stream — identical on every
+// rank — and applies the chosen Pauli as a regular gate. All ranks draw
+// the same number of variates per gate whether or not the Pauli fires,
+// keeping the streams aligned.
+func (s *Simulator) applyNoiseRank(comm *mpi.Comm, rs *rankState, g quantum.Gate, gi int) {
+	u := rs.rng.Float64()
+	pick := rs.rng.Intn(3)
+	if u >= s.noise.Prob {
+		return
+	}
+	var pauli quantum.Gate
+	switch pick {
+	case 0:
+		pauli = quantum.Gate{Name: "noise-x", Target: g.Target, U: quantum.MatX}
+	case 1:
+		pauli = quantum.Gate{Name: "noise-y", Target: g.Target, U: quantum.MatY}
+	default:
+		pauli = quantum.Gate{Name: "noise-z", Target: g.Target, U: quantum.MatZ}
+	}
+	if err := s.applyGateRank(comm, rs, pauli, gi); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import "time"
+
+// Stats is the per-rank (and aggregated) accounting that regenerates the
+// paper's Table 2 breakdown: where the time went, how small the state
+// stayed, and how well the block cache did.
+type Stats struct {
+	// Time breakdown (Table 2 rows).
+	CompressTime   time.Duration
+	DecompressTime time.Duration
+	ComputeTime    time.Duration
+	CommTime       time.Duration
+
+	// Gates executed (unitary applications; measurements count too).
+	Gates int
+
+	// Block cache behaviour (§3.4).
+	CacheLookups int64
+	CacheHits    int64
+
+	// Footprint accounting. CurrentFootprint is Σ len(compressed
+	// block); MaxFootprint is its high-water mark, from which the
+	// minimum compression ratio of Table 2 derives.
+	CurrentFootprint int64
+	MaxFootprint     int64
+
+	// FinalLevel is the error-bound level reached (0 = still
+	// lossless).
+	FinalLevel int
+
+	// Escalations counts §3.7 bound relaxations.
+	Escalations int
+}
+
+// TotalTime sums the tracked components.
+func (s Stats) TotalTime() time.Duration {
+	return s.CompressTime + s.DecompressTime + s.ComputeTime + s.CommTime
+}
+
+// Add accumulates o into s (for aggregating rank stats).
+func (s Stats) Add(o Stats) Stats {
+	s.CompressTime += o.CompressTime
+	s.DecompressTime += o.DecompressTime
+	s.ComputeTime += o.ComputeTime
+	s.CommTime += o.CommTime
+	if o.Gates > s.Gates {
+		s.Gates = o.Gates
+	}
+	s.CacheLookups += o.CacheLookups
+	s.CacheHits += o.CacheHits
+	s.CurrentFootprint += o.CurrentFootprint
+	s.MaxFootprint += o.MaxFootprint
+	if o.FinalLevel > s.FinalLevel {
+		s.FinalLevel = o.FinalLevel
+	}
+	s.Escalations += o.Escalations
+	return s
+}
+
+// MinCompressionRatio returns uncompressed-state-bytes / peak-footprint,
+// the last row of Table 2. stateBytes is the full uncompressed size the
+// stats cover.
+func (s Stats) MinCompressionRatio(stateBytes float64) float64 {
+	if s.MaxFootprint == 0 {
+		return 0
+	}
+	return stateBytes / float64(s.MaxFootprint)
+}

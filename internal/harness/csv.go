@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV export: each experiment's structured results can be written as a
+// CSV file for external plotting, mirroring the paper's figures.
+
+// WriteRatioCSV writes RatioResults as dataset,codec,bound,ratio rows.
+func WriteRatioCSV(w io.Writer, rs []RatioResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "codec", "bound", "ratio"}); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		rec := []string{r.Dataset, r.Codec, fmtF(r.Bound), fmtF(r.Ratio)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRateCSV writes RateResults.
+func WriteRateCSV(w io.Writer, rs []RateResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "codec", "bound", "compress_mb_s", "decompress_mb_s"}); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		rec := []string{r.Dataset, r.Codec, fmtF(r.Bound), fmtF(r.CompressMB), fmtF(r.DecompMB)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV writes Table2Rows.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	hdr := []string{"benchmark", "qubits", "gates", "ranks", "mem_required_bytes",
+		"mem_budget_bytes", "total_seconds", "compress_pct", "decompress_pct",
+		"comm_pct", "compute_pct", "fidelity", "fidelity_lower_bound", "min_ratio"}
+	if err := cw.Write(hdr); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Benchmark, strconv.Itoa(r.Qubits), strconv.Itoa(r.Gates), strconv.Itoa(r.Ranks),
+			fmtF(r.MemRequired), strconv.FormatInt(r.MemBudget, 10),
+			fmtF(r.TotalTime.Seconds()), fmtF(r.CompressPct), fmtF(r.DecompressPct),
+			fmtF(r.CommPct), fmtF(r.ComputePct), fmtF(r.Fidelity), fmtF(r.FidelityLow), fmtF(r.MinRatio),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportCSV runs the data-producing experiments and writes one CSV per
+// figure into dir.
+func ExportCSV(dir string, opt Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, f func(w io.Writer) error) error {
+		fp, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := f(fp); err != nil {
+			fp.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return fp.Close()
+	}
+	fig7, err := Fig7Results(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("fig7_abs_ratio.csv", func(w io.Writer) error { return WriteRatioCSV(w, fig7) }); err != nil {
+		return err
+	}
+	fig8, err := Fig8Results(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("fig8_rel_ratio.csv", func(w io.Writer) error { return WriteRatioCSV(w, fig8) }); err != nil {
+		return err
+	}
+	fig10, err := Fig10Results(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("fig10_solutions_ratio.csv", func(w io.Writer) error { return WriteRatioCSV(w, fig10) }); err != nil {
+		return err
+	}
+	fig11, err := Fig11Results(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("fig11_rates.csv", func(w io.Writer) error { return WriteRateCSV(w, fig11) }); err != nil {
+		return err
+	}
+	t2, err := Table2Results(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("table2.csv", func(w io.Writer) error { return WriteTable2CSV(w, t2) }); err != nil {
+		return err
+	}
+	// Fig. 6 is closed-form; export the curves too.
+	return write("fig6_fidelity_bounds.csv", func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"gates", "bound", "fidelity_lower_bound"}); err != nil {
+			return err
+		}
+		for _, d := range []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1} {
+			f := 1.0
+			for g := 1; g <= 5000; g++ {
+				f *= 1 - d
+				if g%250 == 0 {
+					if err := cw.Write([]string{strconv.Itoa(g), fmtF(d), fmtF(f)}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	})
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"qcsim/internal/quantum"
+)
+
+// Snapshot is a raw state-vector image (interleaved re/im float64) of a
+// benchmark circuit — the qaoa_N / sup_N datasets of §4.1.
+type Snapshot struct {
+	Name string
+	Data []float64
+}
+
+var (
+	snapMu    sync.Mutex
+	snapCache = map[string][]float64{}
+)
+
+// snapshot runs the named circuit on the dense reference simulator and
+// returns its final state as interleaved float64 (cached per size —
+// the compression experiments reuse the same datasets repeatedly).
+func snapshot(kind string, qubits int) Snapshot {
+	key := fmt.Sprintf("%s_%d", kind, qubits)
+	snapMu.Lock()
+	defer snapMu.Unlock()
+	if data, ok := snapCache[key]; ok {
+		return Snapshot{Name: key, Data: data}
+	}
+	var c *quantum.Circuit
+	switch kind {
+	case "qaoa":
+		c = quantum.QAOA(qubits, 2, 20190001)
+	case "sup":
+		rows, cols := gridFor(qubits)
+		c = quantum.Supremacy(rows, cols, 11, 20190002)
+	default:
+		panic("harness: unknown snapshot kind " + kind)
+	}
+	st := quantum.NewState(c.N)
+	st.ApplyCircuit(c)
+	data := make([]float64, 2*len(st.Amps))
+	for i, a := range st.Amps {
+		data[2*i] = real(a)
+		data[2*i+1] = imag(a)
+	}
+	snapCache[key] = data
+	return Snapshot{Name: key, Data: data}
+}
+
+// gridFor factors a qubit count into the most square rows×cols grid.
+func gridFor(n int) (rows, cols int) {
+	best := [2]int{1, n}
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			best = [2]int{r, n / r}
+		}
+	}
+	return best[0], best[1]
+}
+
+// blocks splits data into consecutive blocks of `size` values (the last
+// block may be shorter).
+func blocks(data []float64, size int) [][]float64 {
+	var out [][]float64
+	for len(data) > 0 {
+		n := size
+		if n > len(data) {
+			n = len(data)
+		}
+		out = append(out, data[:n])
+		data = data[n:]
+	}
+	return out
+}
+
+// valueRange returns max-min over a block (the paper's range-relative
+// absolute bound basis).
+func valueRange(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,244 @@
+// Package mpi is the repository's stand-in for the Message Passing
+// Interface runtime the paper uses on Theta: an in-process SPMD runtime
+// where each "rank" is a goroutine and the collectives (pairwise
+// exchange, barrier, allreduce, broadcast) run over channels.
+//
+// The simulator's index arithmetic — which rank owns which amplitudes,
+// when whole blocks must be exchanged between rank pairs (paper Fig. 3) —
+// is identical to the MPI version, so every distributed code path of the
+// paper executes here, just inside one address space. Each Comm tracks
+// the wall-clock time it spends blocked in communication, which feeds the
+// Table 2 time breakdown.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// World owns the shared state of one SPMD execution.
+type World struct {
+	size    int
+	mailbox []chan []float64 // mailbox[to*size+from]
+	barrier *barrier
+	reduce  []float64
+	reduceI []uint64
+	bcast   []float64
+	done    chan struct{} // closed when any rank dies
+	once    sync.Once
+}
+
+func (w *World) abort() {
+	w.once.Do(func() { close(w.done) })
+	w.barrier.abort()
+}
+
+// Comm is one rank's handle on the World.
+type Comm struct {
+	w    *World
+	rank int
+
+	commTime time.Duration
+	sends    int
+	bytes    int64
+}
+
+// Run executes body on size ranks concurrently and waits for all of them.
+// size must be a power of two ≥ 1 (the simulator's state partitioning
+// requires it). A panic in any rank is recovered and returned as an
+// error after all ranks finish or unblock.
+func Run(size int, body func(*Comm)) ([]*Comm, error) {
+	if size < 1 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("mpi: size %d is not a power of two", size)
+	}
+	w := &World{
+		size:    size,
+		mailbox: make([]chan []float64, size*size),
+		barrier: newBarrier(size),
+		reduce:  make([]float64, size),
+		reduceI: make([]uint64, size),
+		bcast:   make([]float64, size),
+		done:    make(chan struct{}),
+	}
+	for i := range w.mailbox {
+		w.mailbox[i] = make(chan []float64, 1)
+	}
+	comms := make([]*Comm, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		comms[r] = &Comm{w: w, rank: r}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+					// Unblock peers that may be waiting on this rank.
+					w.abort()
+				}
+			}()
+			body(comms[r])
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return comms, err
+		}
+	}
+	if w.barrier.aborted() {
+		return comms, fmt.Errorf("mpi: barrier aborted")
+	}
+	return comms, nil
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.size }
+
+// CommTime returns the cumulative wall-clock time this rank has spent
+// blocked in communication calls.
+func (c *Comm) CommTime() time.Duration { return c.commTime }
+
+// BytesMoved returns the cumulative payload volume this rank has sent.
+func (c *Comm) BytesMoved() int64 { return c.bytes }
+
+// SendRecv exchanges float64 payloads with peer: send is delivered to
+// peer and the peer's payload is copied into recv (which must have the
+// peer's send length). Both sides must call SendRecv with each other as
+// peer; mismatched pairings deadlock, as in MPI.
+func (c *Comm) SendRecv(peer int, send, recv []float64) {
+	if peer == c.rank {
+		copy(recv, send)
+		return
+	}
+	start := time.Now()
+	// Copy out so the receiver never aliases our live buffer.
+	out := make([]float64, len(send))
+	copy(out, send)
+	select {
+	case c.w.mailbox[peer*c.w.size+c.rank] <- out:
+	case <-c.w.done:
+		panic("mpi: send aborted (peer rank died)")
+	}
+	var in []float64
+	select {
+	case in = <-c.w.mailbox[c.rank*c.w.size+peer]:
+	case <-c.w.done:
+		panic("mpi: recv aborted (peer rank died)")
+	}
+	if len(in) != len(recv) {
+		panic(fmt.Sprintf("mpi: rank %d expected %d values from %d, got %d", c.rank, len(recv), peer, len(in)))
+	}
+	copy(recv, in)
+	c.sends++
+	c.bytes += int64(len(send) * 8)
+	c.commTime += time.Since(start)
+}
+
+// Barrier blocks until every rank reaches it.
+func (c *Comm) Barrier() {
+	start := time.Now()
+	c.w.barrier.await()
+	c.commTime += time.Since(start)
+}
+
+// AllreduceSum returns the sum of x across all ranks. Every rank must
+// call it.
+func (c *Comm) AllreduceSum(x float64) float64 {
+	start := time.Now()
+	c.w.reduce[c.rank] = x
+	c.w.barrier.await()
+	var s float64
+	for _, v := range c.w.reduce {
+		s += v
+	}
+	c.w.barrier.await() // protect reduce slots from the next round
+	c.commTime += time.Since(start)
+	return s
+}
+
+// AllreduceMax returns the max of x across all ranks.
+func (c *Comm) AllreduceMax(x uint64) uint64 {
+	start := time.Now()
+	c.w.reduceI[c.rank] = x
+	c.w.barrier.await()
+	var m uint64
+	for _, v := range c.w.reduceI {
+		if v > m {
+			m = v
+		}
+	}
+	c.w.barrier.await()
+	c.commTime += time.Since(start)
+	return m
+}
+
+// Bcast distributes root's x to every rank and returns it.
+func (c *Comm) Bcast(root int, x float64) float64 {
+	start := time.Now()
+	if c.rank == root {
+		c.w.bcast[0] = x
+	}
+	c.w.barrier.await()
+	v := c.w.bcast[0]
+	c.w.barrier.await()
+	c.commTime += time.Since(start)
+	return v
+}
+
+// barrier is a reusable sense-reversing barrier that can be aborted when
+// a rank dies, unblocking the survivors.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	size   int
+	count  int
+	sense  bool
+	broken bool
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		panic("mpi: barrier aborted (peer rank died)")
+	}
+	sense := b.sense
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.sense = !b.sense
+		b.cond.Broadcast()
+		return
+	}
+	for b.sense == sense && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		panic("mpi: barrier aborted (peer rank died)")
+	}
+}
+
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *barrier) aborted() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.broken
+}

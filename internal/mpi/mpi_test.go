@@ -1,0 +1,247 @@
+package mpi
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunSizeValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, 3, 6, 12} {
+		if _, err := Run(bad, func(*Comm) {}); err == nil {
+			t.Fatalf("size %d accepted", bad)
+		}
+	}
+}
+
+func TestRankAndSize(t *testing.T) {
+	var seen [8]int32
+	_, err := Run(8, func(c *Comm) {
+		if c.Size() != 8 {
+			t.Errorf("Size = %d", c.Size())
+		}
+		atomic.AddInt32(&seen[c.Rank()], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Fatalf("rank %d ran %d times", r, n)
+		}
+	}
+}
+
+func TestSendRecvPairwise(t *testing.T) {
+	_, err := Run(4, func(c *Comm) {
+		peer := c.Rank() ^ 1
+		send := []float64{float64(c.Rank()), float64(c.Rank() * 10)}
+		recv := make([]float64, 2)
+		c.SendRecv(peer, send, recv)
+		if recv[0] != float64(peer) || recv[1] != float64(peer*10) {
+			t.Errorf("rank %d got %v from %d", c.Rank(), recv, peer)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvSelf(t *testing.T) {
+	_, err := Run(1, func(c *Comm) {
+		send := []float64{1, 2, 3}
+		recv := make([]float64, 3)
+		c.SendRecv(0, send, recv)
+		if recv[1] != 2 {
+			t.Errorf("self exchange got %v", recv)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvNoAliasing(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		send := []float64{float64(c.Rank())}
+		recv := make([]float64, 1)
+		c.SendRecv(c.Rank()^1, send, recv)
+		send[0] = -99 // mutating after the call must not affect the peer
+		c.Barrier()
+		if recv[0] != float64(c.Rank()^1) {
+			t.Errorf("rank %d: aliased buffer, recv=%v", c.Rank(), recv)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvManyRounds(t *testing.T) {
+	const rounds = 200
+	_, err := Run(8, func(c *Comm) {
+		recv := make([]float64, 1)
+		for i := 0; i < rounds; i++ {
+			peer := c.Rank() ^ (1 << (i % 3))
+			c.SendRecv(peer, []float64{float64(c.Rank()*rounds + i)}, recv)
+			if recv[0] != float64(peer*rounds+i) {
+				t.Errorf("round %d: rank %d got %v", i, c.Rank(), recv[0])
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	var phase int32
+	_, err := Run(4, func(c *Comm) {
+		atomic.AddInt32(&phase, 1)
+		c.Barrier()
+		if atomic.LoadInt32(&phase) != 4 {
+			t.Errorf("rank %d passed barrier with phase %d", c.Rank(), phase)
+		}
+		c.Barrier()
+		atomic.AddInt32(&phase, 1)
+		c.Barrier()
+		if atomic.LoadInt32(&phase) != 8 {
+			t.Errorf("rank %d: second phase %d", c.Rank(), phase)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	_, err := Run(8, func(c *Comm) {
+		got := c.AllreduceSum(float64(c.Rank() + 1))
+		if got != 36 { // 1+2+...+8
+			t.Errorf("rank %d: sum %v", c.Rank(), got)
+		}
+		// Back-to-back reductions must not interfere.
+		got2 := c.AllreduceSum(1)
+		if got2 != 8 {
+			t.Errorf("rank %d: second sum %v", c.Rank(), got2)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	_, err := Run(4, func(c *Comm) {
+		got := c.AllreduceMax(uint64(c.Rank() * 7))
+		if got != 21 {
+			t.Errorf("rank %d: max %v", c.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	_, err := Run(4, func(c *Comm) {
+		v := c.Bcast(2, float64(c.Rank())*math.Pi)
+		if v != 2*math.Pi {
+			t.Errorf("rank %d: bcast %v", c.Rank(), v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	start := time.Now()
+	_, err := Run(4, func(c *Comm) {
+		if c.Rank() == 2 {
+			panic("boom")
+		}
+		// Other ranks block; the abort must free them.
+		c.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") && !strings.Contains(err.Error(), "abort") {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("abort did not unblock peers promptly")
+	}
+}
+
+func TestPanicUnblocksSendRecv(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			panic("rank0 died")
+		}
+		recv := make([]float64, 1)
+		c.SendRecv(0, []float64{1}, recv) // would deadlock without abort
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCommTimeAccounted(t *testing.T) {
+	comms, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			time.Sleep(30 * time.Millisecond) // make rank 1 wait
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comms[1].CommTime() < 20*time.Millisecond {
+		t.Fatalf("rank 1 comm time %v, expected ≥ 20ms of barrier wait", comms[1].CommTime())
+	}
+}
+
+func TestBytesMoved(t *testing.T) {
+	comms, err := Run(2, func(c *Comm) {
+		recv := make([]float64, 100)
+		c.SendRecv(c.Rank()^1, make([]float64, 100), recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comms[0].BytesMoved() != 800 {
+		t.Fatalf("BytesMoved = %d", comms[0].BytesMoved())
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	_, err := Run(1, func(c *Comm) {
+		if s := c.AllreduceSum(5); s != 5 {
+			t.Errorf("sum %v", s)
+		}
+		if v := c.Bcast(0, 7); v != 7 {
+			t.Errorf("bcast %v", v)
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	_, err := Run(32, func(c *Comm) {
+		for i := 0; i < 50; i++ {
+			s := c.AllreduceSum(1)
+			if s != 32 {
+				t.Errorf("sum %v", s)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+package mps
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"qcsim/internal/quantum"
+)
+
+// compareDense checks the MPS against the dense reference.
+func compareDense(t *testing.T, s *State, c *quantum.Circuit, tol float64) {
+	t.Helper()
+	if err := s.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	ref := quantum.NewState(c.N)
+	ref.ApplyCircuit(c)
+	got, err := s.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := quantum.FidelityVec(ref.Amps, got)
+	if math.Abs(f-1) > tol {
+		t.Fatalf("fidelity = %v", f)
+	}
+}
+
+func TestSVDReconstructs(t *testing.T) {
+	A := newMatrix(4, 6)
+	vals := []complex128{
+		1, 2i, 0.5, -1, 0.25i, 3,
+		-2, 1, 1i, 0.75, -0.5, 0,
+		0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+		1i, -1i, 2, -2, 0.5i, 1,
+	}
+	copy(A.a, vals)
+	U, s, V := svd(A)
+	// Rebuild and compare.
+	for i := 0; i < A.rows; i++ {
+		for j := 0; j < A.cols; j++ {
+			var v complex128
+			for k := 0; k < len(s); k++ {
+				v += U.at(i, k) * complex(s[k], 0) * cmplx.Conj(V.at(j, k))
+			}
+			if cmplx.Abs(v-A.at(i, j)) > 1e-10 {
+				t.Fatalf("A[%d,%d] rebuilt as %v, want %v", i, j, v, A.at(i, j))
+			}
+		}
+	}
+	// Singular values descending and non-negative.
+	for k := 1; k < len(s); k++ {
+		if s[k] > s[k-1]+1e-12 || s[k] < 0 {
+			t.Fatalf("singular values not sorted: %v", s)
+		}
+	}
+	// U columns orthonormal.
+	for a := 0; a < len(s); a++ {
+		for b := 0; b < len(s); b++ {
+			var d complex128
+			for i := 0; i < U.rows; i++ {
+				d += cmplx.Conj(U.at(i, a)) * U.at(i, b)
+			}
+			want := complex(0, 0)
+			if a == b {
+				want = 1
+			}
+			if cmplx.Abs(d-want) > 1e-10 {
+				t.Fatalf("U†U[%d,%d] = %v", a, b, d)
+			}
+		}
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	s, err := New(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := s.Amplitude(0); cmplx.Abs(a-1) > 1e-12 {
+		t.Fatalf("⟨0|ψ⟩ = %v", a)
+	}
+	if a := s.Amplitude(7); cmplx.Abs(a) > 1e-12 {
+		t.Fatalf("⟨7|ψ⟩ = %v", a)
+	}
+	if n := s.Norm(); math.Abs(n-1) > 1e-12 {
+		t.Fatalf("norm = %v", n)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Fatal("0 qubits accepted")
+	}
+	if _, err := New(3, 1); err == nil {
+		t.Fatal("χ=1 accepted")
+	}
+	s, _ := New(3, 4)
+	if err := s.ApplyGate(quantum.Gate{Kind: quantum.KindMeasure, Target: 0}); err == nil {
+		t.Fatal("measurement accepted")
+	}
+	if err := s.ApplyGate(quantum.Gate{Name: "ccx", Target: 2, Controls: []int{0, 1}, U: quantum.MatX}); err == nil {
+		t.Fatal("multi-control accepted")
+	}
+	if err := s.ApplyCircuit(quantum.NewCircuit(4).H(0)); err == nil {
+		t.Fatal("qubit mismatch accepted")
+	}
+}
+
+func TestGHZExactAtChi2(t *testing.T) {
+	// GHZ has Schmidt rank 2 across every cut: χ=2 is exact.
+	s, _ := New(8, 2)
+	compareDense(t, s, quantum.GHZ(8), 1e-10)
+	if s.Truncations != 0 {
+		t.Fatalf("GHZ required %d truncations at χ=2", s.Truncations)
+	}
+	if s.FidelityLowerBound() != 1 {
+		t.Fatalf("ledger = %v", s.FidelityLowerBound())
+	}
+}
+
+func TestBellPairAdjacent(t *testing.T) {
+	s, _ := New(2, 2)
+	compareDense(t, s, quantum.NewCircuit(2).H(0).CNOT(0, 1), 1e-12)
+}
+
+func TestLongRangeCNOT(t *testing.T) {
+	// CNOT(0, 5) exercises the SWAP routing in both directions.
+	s, _ := New(6, 4)
+	c := quantum.NewCircuit(6).H(0).CNOT(0, 5).CNOT(5, 0).X(3).CNOT(3, 1)
+	compareDense(t, s, c, 1e-10)
+}
+
+func TestQFTExactWithLargeChi(t *testing.T) {
+	n := 6
+	s, _ := New(n, 1<<n) // χ big enough to be exact
+	compareDense(t, s, quantum.QFT(n, 9), 1e-8)
+}
+
+func TestQAOAExactWithLargeChi(t *testing.T) {
+	n := 8
+	s, _ := New(n, 1<<n)
+	compareDense(t, s, quantum.QAOA(n, 1, 3), 1e-8)
+}
+
+func TestNormPreserved(t *testing.T) {
+	n := 7
+	s, _ := New(n, 8) // small χ: truncation will happen
+	c := quantum.QAOA(n, 2, 5)
+	if err := s.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	if nm := s.Norm(); math.Abs(nm-1) > 1e-8 {
+		t.Fatalf("norm after truncation = %v", nm)
+	}
+}
+
+func TestTruncationLowersLedgerAndFidelity(t *testing.T) {
+	// A supremacy circuit at tiny χ must truncate; the measured
+	// fidelity degrades but stays consistent (ledger is a lower bound
+	// up to numerical slack).
+	cir := quantum.Supremacy(2, 4, 10, 4)
+	small, _ := New(cir.N, 2)
+	if err := small.ApplyCircuit(cir); err != nil {
+		t.Fatal(err)
+	}
+	if small.Truncations == 0 {
+		t.Fatal("no truncation at χ=2 on a supremacy circuit")
+	}
+	if small.FidelityLowerBound() >= 1 {
+		t.Fatal("ledger did not move")
+	}
+	ref := quantum.NewState(cir.N)
+	ref.ApplyCircuit(cir)
+	got, err := small.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := quantum.FidelityVec(ref.Amps, got)
+	if f > 0.999 {
+		t.Fatalf("χ=2 supremacy fidelity %v implausibly high", f)
+	}
+	// Large χ restores exactness.
+	big, _ := New(cir.N, 1<<uint(cir.N))
+	if err := big.ApplyCircuit(cir); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := big.Dense()
+	if f2 := quantum.FidelityVec(ref.Amps, got2); math.Abs(f2-1) > 1e-7 {
+		t.Fatalf("exact-χ fidelity = %v", f2)
+	}
+}
+
+func TestMemoryAdvantageOnProductStates(t *testing.T) {
+	// The tensor-network selling point: n qubits of low entanglement
+	// cost O(n·χ²), not 2^n.
+	n := 18
+	s, _ := New(n, 2)
+	c := quantum.GHZ(n)
+	if err := s.ApplyCircuit(c); err != nil {
+		t.Fatal(err)
+	}
+	dense := int64(16) << uint(n)
+	if s.MemoryBytes() >= dense/100 {
+		t.Fatalf("MPS used %d bytes, dense needs %d — no advantage", s.MemoryBytes(), dense)
+	}
+	if s.MaxBond() != 2 {
+		t.Fatalf("GHZ bond = %d", s.MaxBond())
+	}
+	// And the state is still correct.
+	a0 := s.Amplitude(0)
+	a1 := s.Amplitude(1<<uint(n) - 1)
+	w := 1 / math.Sqrt2
+	if cmplx.Abs(a0-complex(w, 0)) > 1e-9 || cmplx.Abs(a1-complex(w, 0)) > 1e-9 {
+		t.Fatalf("GHZ amplitudes %v %v", a0, a1)
+	}
+}
+
+func TestRandomCircuitAgainstReference(t *testing.T) {
+	// Unstructured circuits with full χ are exact.
+	cir := quantum.RandomCircuit(6, 60, 77)
+	s, _ := New(6, 64)
+	compareDense(t, s, cir, 1e-8)
+}

@@ -1,0 +1,130 @@
+package mps
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Complex singular value decomposition by one-sided Jacobi rotations —
+// the only dense linear algebra the MPS simulator needs, implemented on
+// the standard library alone. Matrices here are tiny (≤ 2χ on a side),
+// so the O(n³) sweeps are cheap.
+
+// matrix is a dense row-major complex matrix.
+type matrix struct {
+	rows, cols int
+	a          []complex128
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, a: make([]complex128, rows*cols)}
+}
+
+func (m *matrix) at(i, j int) complex128     { return m.a[i*m.cols+j] }
+func (m *matrix) set(i, j int, v complex128) { m.a[i*m.cols+j] = v }
+
+// svd decomposes A (rows×cols) into U·diag(s)·V†, returning U
+// (rows×k), s (length k), V (cols×k) with k = min(rows, cols),
+// singular values descending.
+func svd(A *matrix) (U *matrix, s []float64, V *matrix) {
+	m, n := A.rows, A.cols
+	// Work on a copy W = A; V accumulates the column rotations so that
+	// at convergence W = U·diag(s)·V† with W's columns orthogonal.
+	W := newMatrix(m, n)
+	copy(W.a, A.a)
+	Vfull := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		Vfull.set(i, i, 1)
+	}
+
+	colDot := func(M *matrix, p, q int) complex128 { // ⟨col p, col q⟩
+		var d complex128
+		for i := 0; i < M.rows; i++ {
+			d += cmplx.Conj(M.at(i, p)) * M.at(i, q)
+		}
+		return d
+	}
+
+	const maxSweeps = 60
+	tol := 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				app := real(colDot(W, p, p))
+				aqq := real(colDot(W, q, q))
+				apq := colDot(W, p, q)
+				if cmplx.Abs(apq) <= tol*math.Sqrt(app*aqq)+1e-300 {
+					continue
+				}
+				off += cmplx.Abs(apq)
+				// Complex Jacobi rotation eliminating ⟨p,q⟩: first strip
+				// the phase of apq, then a real rotation.
+				phase := cmplx.Rect(1, -cmplx.Phase(apq))
+				// After scaling column q by phase, the off-diagonal is
+				// |apq| (real).
+				b := cmplx.Abs(apq)
+				theta := 0.5 * math.Atan2(2*b, app-aqq)
+				c := complex(math.Cos(theta), 0)
+				sn := complex(math.Sin(theta), 0)
+				for i := 0; i < m; i++ {
+					wp := W.at(i, p)
+					wq := W.at(i, q) * phase
+					W.set(i, p, c*wp+sn*wq)
+					W.set(i, q, -sn*wp+c*wq)
+				}
+				for i := 0; i < n; i++ {
+					vp := Vfull.at(i, p)
+					vq := Vfull.at(i, q) * phase
+					Vfull.set(i, p, c*vp+sn*vq)
+					Vfull.set(i, q, -sn*vp+c*vq)
+				}
+			}
+		}
+		if off < tol {
+			break
+		}
+	}
+
+	k := n
+	if m < n {
+		k = m
+	}
+	// Column norms are the singular values; sort descending.
+	type sv struct {
+		val float64
+		col int
+	}
+	all := make([]sv, n)
+	for j := 0; j < n; j++ {
+		var nrm float64
+		for i := 0; i < m; i++ {
+			v := W.at(i, j)
+			nrm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		all[j] = sv{math.Sqrt(nrm), j}
+	}
+	for i := 0; i < len(all); i++ { // insertion sort (tiny n)
+		for j := i; j > 0 && all[j].val > all[j-1].val; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+
+	U = newMatrix(m, k)
+	V = newMatrix(n, k)
+	s = make([]float64, k)
+	for jj := 0; jj < k; jj++ {
+		src := all[jj].col
+		s[jj] = all[jj].val
+		if s[jj] > 1e-300 {
+			inv := complex(1/s[jj], 0)
+			for i := 0; i < m; i++ {
+				U.set(i, jj, W.at(i, src)*inv)
+			}
+		}
+		for i := 0; i < n; i++ {
+			V.set(i, jj, Vfull.at(i, src))
+		}
+	}
+	return U, s, V
+}

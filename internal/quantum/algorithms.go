@@ -1,0 +1,90 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Additional textbook algorithm builders. These extend the paper's
+// benchmark set (§5.3) with the algorithm families its introduction
+// motivates — phase estimation (the core of Shor's algorithm and
+// chemistry workloads) and oracle problems — all expressible in the
+// same gate set the simulator supports.
+
+// PhaseEstimation builds quantum phase estimation of the single-qubit
+// phase unitary U = diag(1, e^{2πiφ}) with t counting qubits.
+// Qubit layout: counting register 0..t-1, eigenstate qubit t (prepared
+// in |1⟩, the e^{2πiφ} eigenstate). Measuring the counting register
+// yields round(φ·2^t) when φ has an exact t-bit expansion.
+func PhaseEstimation(t int, phi float64) *Circuit {
+	if t < 1 {
+		panic(fmt.Sprintf("quantum: phase estimation needs ≥ 1 counting qubit, got %d", t))
+	}
+	c := NewCircuit(t + 1)
+	c.X(t) // eigenstate |1⟩
+	for q := 0; q < t; q++ {
+		c.H(q)
+	}
+	// Controlled-U^(2^q): counting qubit q controls 2^q applications.
+	for q := 0; q < t; q++ {
+		theta := 2 * math.Pi * phi * math.Exp2(float64(q))
+		c.CPhase(q, t, theta)
+	}
+	// Inverse QFT on the counting register (bit-reversed convention:
+	// counting qubit q weighs 2^q).
+	for i := 0; i < t/2; i++ {
+		c.SWAP(i, t-1-i)
+	}
+	for i := 0; i < t; i++ {
+		for j := 0; j < i; j++ {
+			c.CPhase(j, i, -math.Pi/math.Exp2(float64(i-j)))
+		}
+		c.H(i)
+	}
+	return c
+}
+
+// BernsteinVazirani builds the Bernstein–Vazirani circuit recovering an
+// n-bit secret string s with one oracle query. Qubits 0..n-1 are the
+// input register; qubit n is the phase ancilla. After the circuit, the
+// input register reads s deterministically.
+func BernsteinVazirani(n int, secret uint64) *Circuit {
+	if secret >= 1<<uint(n) {
+		panic(fmt.Sprintf("quantum: secret %d out of range for %d qubits", secret, n))
+	}
+	c := NewCircuit(n + 1)
+	c.X(n).H(n) // ancilla |−⟩
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	// Oracle: f(x) = s·x — a CNOT from each secret bit into the
+	// ancilla.
+	for q := 0; q < n; q++ {
+		if secret>>uint(q)&1 == 1 {
+			c.CNOT(q, n)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// DeutschJozsa builds the Deutsch–Jozsa circuit on n input qubits.
+// constant selects the constant-zero oracle; otherwise a balanced
+// oracle (f(x) = x₀) is used. The input register reads |0...0⟩ iff the
+// oracle is constant.
+func DeutschJozsa(n int, constant bool) *Circuit {
+	c := NewCircuit(n + 1)
+	c.X(n).H(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	if !constant {
+		c.CNOT(0, n) // balanced: f(x) = x0
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	return c
+}

@@ -1,0 +1,179 @@
+package quantum
+
+import "fmt"
+
+// Feynman-paths simulation (paper §2.2): computes a single output
+// amplitude ⟨x|C|in⟩ by summing over all intermediate computational
+// basis configurations. Memory stays polynomial, but time grows as
+// O(2^b) in the number of branching gates b (gates whose matrix has two
+// nonzero entries per column, e.g. H, X^1/2) — which is exactly why the
+// paper dismisses the method for deep circuits and why the harness can
+// demonstrate the blow-up empirically.
+
+// FeynmanOptions tunes the path sum.
+type FeynmanOptions struct {
+	// MemoLimit caps the memoization table (entries). 0 disables
+	// memoization; a few million entries tames circuits whose paths
+	// reconverge (at exponential worst-case memory savings).
+	MemoLimit int
+	// MaxBranchingGates aborts circuits whose path count would be
+	// astronomically large. 0 means no limit.
+	MaxBranchingGates int
+}
+
+// BranchingGates counts the gates whose unitary creates superposition
+// (two nonzero entries in some column) — the exponent of the Feynman
+// path count.
+func BranchingGates(c *Circuit) int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind == KindUnitary && gateBranches(g) {
+			n++
+		}
+	}
+	return n
+}
+
+func gateBranches(g Gate) bool {
+	// A column with two nonzero entries means the input basis state
+	// maps to a superposition.
+	col0 := g.U[0][0] != 0 && g.U[1][0] != 0
+	col1 := g.U[0][1] != 0 && g.U[1][1] != 0
+	return col0 || col1
+}
+
+// FeynmanAmplitude computes ⟨out|C|in⟩ by the path-sum method.
+func FeynmanAmplitude(c *Circuit, in, out uint64, opt FeynmanOptions) (complex128, error) {
+	if c.N > 62 {
+		return 0, fmt.Errorf("quantum: feynman on %d qubits unsupported", c.N)
+	}
+	lim := uint64(1) << uint(c.N)
+	if in >= lim || out >= lim {
+		return 0, fmt.Errorf("quantum: basis state out of range")
+	}
+	for _, g := range c.Gates {
+		if g.Kind == KindMeasure {
+			return 0, fmt.Errorf("quantum: feynman cannot evaluate measurement gates")
+		}
+	}
+	if opt.MaxBranchingGates > 0 {
+		if b := BranchingGates(c); b > opt.MaxBranchingGates {
+			return 0, fmt.Errorf("quantum: %d branching gates exceed limit %d (path count 2^%d)", b, opt.MaxBranchingGates, b)
+		}
+	}
+	f := &feynman{c: c, in: in, opt: opt}
+	if opt.MemoLimit > 0 {
+		f.memo = make(map[memoKey]complex128)
+	}
+	return f.amp(len(c.Gates), out), nil
+}
+
+type memoKey struct {
+	gate int
+	x    uint64
+}
+
+type feynman struct {
+	c    *Circuit
+	in   uint64
+	opt  FeynmanOptions
+	memo map[memoKey]complex128
+	// Paths counts evaluated leaf terms (for the blow-up experiment).
+	Paths uint64
+}
+
+// amp returns ⟨x| G_i ... G_1 |in⟩ by backward recursion over gates.
+func (f *feynman) amp(i int, x uint64) complex128 {
+	if i == 0 {
+		f.Paths++
+		if x == f.in {
+			return 1
+		}
+		return 0
+	}
+	if f.memo != nil {
+		if v, ok := f.memo[memoKey{i, x}]; ok {
+			return v
+		}
+	}
+	g := f.c.Gates[i-1]
+	tMask := uint64(1) << uint(g.Target)
+	ctrlOK := true
+	for _, ctl := range g.Controls {
+		if x&(1<<uint(ctl)) == 0 {
+			ctrlOK = false
+			break
+		}
+	}
+	var v complex128
+	if !ctrlOK {
+		// Controls unsatisfied in the OUTPUT configuration: since a
+		// controlled gate never changes control bits, the input
+		// configuration has the same (unsatisfied) controls, where the
+		// gate acts as identity.
+		v = f.amp(i-1, x)
+	} else {
+		// ⟨x|G|y⟩ over the two candidate y differing in the target bit.
+		xb := (x & tMask) >> uint(g.Target) // this row of U
+		y0 := x &^ tMask
+		y1 := x | tMask
+		u := g.U
+		if a := u[xb][0]; a != 0 {
+			v += a * f.amp(i-1, y0)
+		}
+		if a := u[xb][1]; a != 0 {
+			v += a * f.amp(i-1, y1)
+		}
+	}
+	if f.memo != nil && len(f.memo) < f.opt.MemoLimit {
+		f.memo[memoKey{i, x}] = v
+	}
+	return v
+}
+
+// --- circuit analysis helpers used by the harness and docs ---
+
+// TwoQubitGateCount returns how many gates have at least one control.
+func (c *Circuit) TwoQubitGateCount() int {
+	n := 0
+	for _, g := range c.Gates {
+		if len(g.Controls) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ParallelDepth returns the circuit depth counted in parallel layers:
+// gates touching disjoint qubits share a layer (the hardware notion of
+// depth, vs the paper's gate count).
+func (c *Circuit) ParallelDepth() int {
+	ready := make([]int, c.N) // earliest free layer per qubit
+	depth := 0
+	for _, g := range c.Gates {
+		layer := ready[g.Target]
+		for _, ctl := range g.Controls {
+			if ready[ctl] > layer {
+				layer = ready[ctl]
+			}
+		}
+		layer++
+		ready[g.Target] = layer
+		for _, ctl := range g.Controls {
+			ready[ctl] = layer
+		}
+		if layer > depth {
+			depth = layer
+		}
+	}
+	return depth
+}
+
+// GateHistogram returns gate counts by name.
+func (c *Circuit) GateHistogram() map[string]int {
+	h := make(map[string]int)
+	for _, g := range c.Gates {
+		h[g.Name]++
+	}
+	return h
+}

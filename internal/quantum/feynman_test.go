@@ -1,0 +1,172 @@
+package quantum
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+func TestFeynmanMatchesReferenceShallow(t *testing.T) {
+	// Any circuit with few branching gates: Feynman amplitudes must
+	// match the dense reference exactly.
+	circuits := map[string]*Circuit{
+		"bell":     NewCircuit(2).H(0).CNOT(0, 1),
+		"ghz":      GHZ(4),
+		"clifford": NewCircuit(3).H(0).S(1).CNOT(0, 1).CZ(1, 2).X(2).H(2),
+		"phases":   NewCircuit(3).H(0).H(1).CPhase(0, 1, 0.7).RZ(2, 1.1).Toffoli(0, 1, 2),
+	}
+	for name, c := range circuits {
+		name, c := name, c
+		t.Run(name, func(t *testing.T) {
+			ref := NewState(c.N)
+			ref.ApplyCircuit(c)
+			for x := uint64(0); x < uint64(len(ref.Amps)); x++ {
+				got, err := FeynmanAmplitude(c, 0, x, FeynmanOptions{MemoLimit: 1 << 20})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cmplx.Abs(got-ref.Amps[x]) > 1e-10 {
+					t.Fatalf("⟨%d|C|0⟩ = %v, want %v", x, got, ref.Amps[x])
+				}
+			}
+		})
+	}
+}
+
+func TestFeynmanNonZeroInput(t *testing.T) {
+	c := NewCircuit(3).H(1).CNOT(1, 2)
+	in := uint64(0b001)
+	ref := NewState(3)
+	ref.Amps[0] = 0
+	ref.Amps[in] = 1
+	ref.ApplyCircuit(c)
+	for x := uint64(0); x < 8; x++ {
+		got, err := FeynmanAmplitude(c, in, x, FeynmanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(got-ref.Amps[x]) > 1e-12 {
+			t.Fatalf("⟨%d|C|%d⟩ = %v, want %v", x, in, got, ref.Amps[x])
+		}
+	}
+}
+
+func TestFeynmanMemoEqualsNoMemo(t *testing.T) {
+	c := RandomCircuit(4, 25, 77)
+	for x := uint64(0); x < 16; x += 3 {
+		a, err := FeynmanAmplitude(c, 0, x, FeynmanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FeynmanAmplitude(c, 0, x, FeynmanOptions{MemoLimit: 1 << 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(a-b) > 1e-10 {
+			t.Fatalf("memoization changed amplitude: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestBranchingGates(t *testing.T) {
+	c := NewCircuit(2).H(0).X(1).CNOT(0, 1).T(0).SqrtX(1)
+	// H and SqrtX branch; X, CNOT, T do not.
+	if got := BranchingGates(c); got != 2 {
+		t.Fatalf("BranchingGates = %d, want 2", got)
+	}
+}
+
+func TestFeynmanBranchingLimit(t *testing.T) {
+	c := NewCircuit(4)
+	for i := 0; i < 40; i++ {
+		c.H(i % 4)
+	}
+	_, err := FeynmanAmplitude(c, 0, 0, FeynmanOptions{MaxBranchingGates: 20})
+	if err == nil {
+		t.Fatal("40 branching gates accepted under a 20-gate limit")
+	}
+}
+
+func TestFeynmanRejectsMeasurement(t *testing.T) {
+	c := NewCircuit(1).H(0)
+	c.Measure(0)
+	if _, err := FeynmanAmplitude(c, 0, 0, FeynmanOptions{}); err == nil {
+		t.Fatal("measurement accepted")
+	}
+}
+
+func TestFeynmanPathBlowUp(t *testing.T) {
+	// The paper's point: path count doubles per branching gate. Without
+	// memoization a ladder of d Hadamards on ONE qubit evaluates
+	// exponentially many leaves.
+	base := NewCircuit(1)
+	var prev uint64
+	for d := 4; d <= 10; d += 2 {
+		for len(base.Gates) < d {
+			base.H(0)
+		}
+		f := &feynman{c: base, in: 0}
+		f.amp(len(base.Gates), 0)
+		if prev > 0 && f.Paths < prev*3 {
+			t.Fatalf("depth %d: %d paths, expected ≈4x growth from %d", d, f.Paths, prev)
+		}
+		prev = f.Paths
+	}
+}
+
+func TestParallelDepth(t *testing.T) {
+	c := NewCircuit(4).H(0).H(1).H(2).H(3) // one layer
+	if d := c.ParallelDepth(); d != 1 {
+		t.Fatalf("H layer depth = %d", d)
+	}
+	c2 := GHZ(5) // CNOT chain serializes: H + 4 CNOTs = depth 5
+	if d := c2.ParallelDepth(); d != 5 {
+		t.Fatalf("GHZ depth = %d", d)
+	}
+	c3 := NewCircuit(2)
+	if d := c3.ParallelDepth(); d != 0 {
+		t.Fatalf("empty depth = %d", d)
+	}
+}
+
+func TestTwoQubitGateCountAndHistogram(t *testing.T) {
+	c := NewCircuit(3).H(0).CNOT(0, 1).CZ(1, 2).Toffoli(0, 1, 2).T(2)
+	if n := c.TwoQubitGateCount(); n != 3 {
+		t.Fatalf("two-qubit count = %d", n)
+	}
+	h := c.GateHistogram()
+	if h["h"] != 1 || h["cx"] != 1 || h["ccx"] != 1 || h["t"] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func BenchmarkFeynmanVsDepth(b *testing.B) {
+	// Demonstrates the exponential time growth in branching depth the
+	// paper cites when dismissing path methods for deep circuits.
+	for _, branching := range []int{8, 12, 16} {
+		branching := branching
+		b.Run(fmtInt("branching=", branching), func(b *testing.B) {
+			c := NewCircuit(4)
+			for i := 0; i < branching; i++ {
+				c.H(i % 4)
+				c.CNOT(i%4, (i+1)%4)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := FeynmanAmplitude(c, 0, 5, FeynmanOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func fmtInt(prefix string, v int) string {
+	digits := ""
+	if v == 0 {
+		digits = "0"
+	}
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return prefix + digits
+}

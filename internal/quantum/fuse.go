@@ -1,0 +1,59 @@
+package quantum
+
+// FuseSingleQubitGates returns an equivalent circuit in which runs of
+// consecutive single-qubit gates on the same target — with no
+// intervening gate touching that qubit — are multiplied into one fused
+// unitary.
+//
+// For the compressed engine this is a large win: every gate pays a full
+// decompress/recompress sweep over the state (§3.1), so folding k
+// adjacent single-qubit gates into one cuts those sweeps k-fold. The
+// fidelity ledger also improves, since Eq. 11 charges one (1-δ) factor
+// per executed gate.
+func FuseSingleQubitGates(c *Circuit) *Circuit {
+	out := NewCircuit(c.N)
+	pending := make(map[int]Matrix2)
+	order := make([]int, 0, c.N) // flush order = first-touch order
+
+	flush := func(q int) {
+		u, ok := pending[q]
+		if !ok {
+			return
+		}
+		delete(pending, q)
+		for i, oq := range order {
+			if oq == q {
+				order = append(order[:i], order[i+1:]...)
+				break
+			}
+		}
+		out.Gates = append(out.Gates, Gate{Name: "fused", Target: q, U: u})
+	}
+	flushAll := func() {
+		for len(order) > 0 {
+			flush(order[0])
+		}
+	}
+
+	for _, g := range c.Gates {
+		if g.Kind == KindUnitary && len(g.Controls) == 0 {
+			if u, ok := pending[g.Target]; ok {
+				pending[g.Target] = g.U.Mul(u)
+			} else {
+				pending[g.Target] = g.U
+				order = append(order, g.Target)
+			}
+			continue
+		}
+		// Controlled gates and measurements act as barriers on every
+		// qubit they touch. (Pending gates on other qubits commute
+		// with this gate and may stay pending.)
+		flush(g.Target)
+		for _, ctl := range g.Controls {
+			flush(ctl)
+		}
+		out.Gates = append(out.Gates, g)
+	}
+	flushAll()
+	return out
+}

@@ -1,0 +1,171 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFusePreservesSemantics(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		c    *Circuit
+	}{
+		{"random", RandomCircuit(6, 150, 11)},
+		{"qft", QFT(6, 5)},
+		{"grover", Grover(4, 7, 2)},
+		{"supremacy", Supremacy(2, 3, 10, 3)},
+		{"qaoa", QAOA(6, 2, 7)},
+	} {
+		mk := mk
+		t.Run(mk.name, func(t *testing.T) {
+			fused := FuseSingleQubitGates(mk.c)
+			a, b := NewState(mk.c.N), NewState(mk.c.N)
+			a.ApplyCircuit(mk.c)
+			b.ApplyCircuit(fused)
+			if f := Fidelity(a, b); math.Abs(f-1) > 1e-9 {
+				t.Fatalf("fused fidelity = %v", f)
+			}
+		})
+	}
+}
+
+func TestFuseReducesGateCount(t *testing.T) {
+	// H·H·H on one qubit collapses to a single fused gate.
+	c := NewCircuit(2).H(0).H(0).H(0).X(1).X(1)
+	fused := FuseSingleQubitGates(c)
+	if len(fused.Gates) != 2 {
+		t.Fatalf("fused to %d gates, want 2", len(fused.Gates))
+	}
+	// Random circuits carry runs of adjacent single-qubit gates on the
+	// same target, so fusion must shrink them.
+	rc := RandomCircuit(4, 400, 1)
+	f := FuseSingleQubitGates(rc)
+	if len(f.Gates) >= len(rc.Gates) {
+		t.Fatalf("no reduction: %d -> %d", len(rc.Gates), len(f.Gates))
+	}
+}
+
+func TestFuseRespectsControlBarriers(t *testing.T) {
+	// X before a CNOT control must not commute past it.
+	c := NewCircuit(2).X(0).CNOT(0, 1).X(0)
+	fused := FuseSingleQubitGates(c)
+	a, b := NewState(2), NewState(2)
+	a.ApplyCircuit(c)
+	b.ApplyCircuit(fused)
+	if f := Fidelity(a, b); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("barrier violated: fidelity %v", f)
+	}
+	// The CNOT must sit between two x-gates in the fused stream.
+	if len(fused.Gates) != 3 || fused.Gates[1].Name != "cx" {
+		t.Fatalf("fused gates: %v", fused.Gates)
+	}
+}
+
+func TestFuseWithMeasurement(t *testing.T) {
+	c := NewCircuit(2).H(0).H(0)
+	c.Measure(0)
+	c.H(0)
+	fused := FuseSingleQubitGates(c)
+	// H·H fuses; measure is a barrier; trailing H stays.
+	if len(fused.Gates) != 3 {
+		t.Fatalf("fused to %d gates", len(fused.Gates))
+	}
+	if fused.Gates[1].Kind != KindMeasure {
+		t.Fatal("measurement moved")
+	}
+}
+
+func TestQuickFuseEquivalence(t *testing.T) {
+	f := func(seed int64, gates uint8) bool {
+		c := RandomCircuit(5, 10+int(gates)%60, seed)
+		fused := FuseSingleQubitGates(c)
+		a, b := NewState(5), NewState(5)
+		a.ApplyCircuit(c)
+		b.ApplyCircuit(fused)
+		return math.Abs(Fidelity(a, b)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseEstimationExactPhase(t *testing.T) {
+	// φ = 5/16 with 4 counting qubits is exact: the counting register
+	// reads |5⟩ with certainty.
+	tq := 4
+	c := PhaseEstimation(tq, 5.0/16.0)
+	st := NewState(c.N)
+	st.ApplyCircuit(c)
+	// Eigenstate qubit stays |1⟩; counting register (bits 0..3) = 5.
+	want := uint64(5) | 1<<uint(tq)
+	if p := st.Probability(want); p < 0.99 {
+		t.Fatalf("P(|%d⟩) = %v", want, p)
+	}
+}
+
+func TestPhaseEstimationInexactPhaseConcentrates(t *testing.T) {
+	tq := 5
+	phi := 0.3 // not a 5-bit dyadic
+	c := PhaseEstimation(tq, phi)
+	st := NewState(c.N)
+	st.ApplyCircuit(c)
+	// The most likely counting value is round(φ·2^t) = 10.
+	best, bestP := -1, 0.0
+	for v := 0; v < 1<<uint(tq); v++ {
+		p := st.Probability(uint64(v) | 1<<uint(tq))
+		if p > bestP {
+			best, bestP = v, p
+		}
+	}
+	if best != 10 {
+		t.Fatalf("mode = %d (p=%v), want 10", best, bestP)
+	}
+	if bestP < 0.4 {
+		t.Fatalf("mode probability %v too diffuse", bestP)
+	}
+}
+
+func TestBernsteinVazirani(t *testing.T) {
+	n := 7
+	secret := uint64(0b1011001)
+	c := BernsteinVazirani(n, secret)
+	st := NewState(c.N)
+	st.ApplyCircuit(c)
+	// Input register deterministically reads the secret (ancilla in
+	// |−⟩ contributes two equal basis states).
+	var p float64
+	for anc := uint64(0); anc <= 1; anc++ {
+		p += st.Probability(secret | anc<<uint(n))
+	}
+	if p < 1-1e-9 {
+		t.Fatalf("P(secret) = %v", p)
+	}
+	mustPanic(t, func() { BernsteinVazirani(3, 8) })
+}
+
+func TestDeutschJozsa(t *testing.T) {
+	n := 6
+	// Constant oracle: register returns to |0...0⟩.
+	cst := DeutschJozsa(n, true)
+	st := NewState(cst.N)
+	st.ApplyCircuit(cst)
+	var p0 float64
+	for anc := uint64(0); anc <= 1; anc++ {
+		p0 += st.Probability(anc << uint(n))
+	}
+	if p0 < 1-1e-9 {
+		t.Fatalf("constant oracle: P(0) = %v", p0)
+	}
+	// Balanced oracle: zero probability of |0...0⟩.
+	bal := DeutschJozsa(n, false)
+	st2 := NewState(bal.N)
+	st2.ApplyCircuit(bal)
+	var pb float64
+	for anc := uint64(0); anc <= 1; anc++ {
+		pb += st2.Probability(anc << uint(n))
+	}
+	if pb > 1e-9 {
+		t.Fatalf("balanced oracle: P(0) = %v", pb)
+	}
+}

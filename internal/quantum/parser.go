@@ -1,0 +1,265 @@
+package quantum
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file implements a small textual circuit format ("qc" format) so
+// circuits can be checked in, diffed, and fed to cmd/qcsim -file. It is
+// a deliberately tiny QASM-like dialect:
+//
+//	# comment
+//	qubits 5
+//	h 0
+//	cx 0 1
+//	rz 2 1.5707963
+//	cp 0 4 0.785398
+//	ccx 0 1 2
+//	measure 3
+//
+// Angles are radians. Serialize writes this format; Parse reads it.
+
+// Serialize writes c in the qc text format.
+func Serialize(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "qubits %d\n", c.N)
+	for _, g := range c.Gates {
+		if err := serializeGate(bw, g); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func serializeGate(w io.Writer, g Gate) error {
+	if g.Kind == KindMeasure {
+		_, err := fmt.Fprintf(w, "measure %d\n", g.Target)
+		return err
+	}
+	switch g.Name {
+	case "h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx", "sy":
+		_, err := fmt.Fprintf(w, "%s %d\n", g.Name, g.Target)
+		return err
+	case "rx", "ry", "rz", "p":
+		theta, err := angleOf(g)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s %d %.17g\n", g.Name, g.Target, theta)
+		return err
+	case "cx", "cz":
+		_, err := fmt.Fprintf(w, "%s %d %d\n", g.Name, g.Controls[0], g.Target)
+		return err
+	case "cp":
+		theta, err := angleOf(g)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "cp %d %d %.17g\n", g.Controls[0], g.Target, theta)
+		return err
+	case "ccx", "ccz":
+		_, err := fmt.Fprintf(w, "%s %d %d %d\n", g.Name, g.Controls[0], g.Controls[1], g.Target)
+		return err
+	default:
+		return fmt.Errorf("quantum: gate %q has no textual form", g.Name)
+	}
+}
+
+// angleOf recovers the rotation angle from a gate matrix for the
+// serializable rotation gates.
+func angleOf(g Gate) (float64, error) {
+	switch g.Name {
+	case "rx", "ry", "rz", "p", "cp":
+		// For rz: U[1][1] = e^{iθ/2}; for p/cp: U[1][1] = e^{iθ};
+		// for rx/ry derive from U[0][0] = cos(θ/2).
+		switch g.Name {
+		case "p", "cp":
+			return phaseAngle(g.U[1][1]), nil
+		case "rz":
+			return 2 * phaseAngle(g.U[1][1]), nil
+		default:
+			c := real(g.U[0][0])
+			s := imagOrReal(g.Name, g.U)
+			return 2 * math.Atan2(s, c), nil
+		}
+	}
+	return 0, fmt.Errorf("quantum: gate %q has no angle", g.Name)
+}
+
+func phaseAngle(v complex128) float64 {
+	return math.Atan2(imag(v), real(v))
+}
+
+func imagOrReal(name string, u Matrix2) float64 {
+	if name == "rx" {
+		return -imag(u[0][1]) // u01 = -i sin(θ/2)
+	}
+	return real(u[1][0]) // ry: u10 = sin(θ/2)
+}
+
+// Parse reads a circuit in the qc text format.
+func Parse(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var c *Circuit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		op := strings.ToLower(fields[0])
+		if op == "qubits" {
+			if c != nil {
+				return nil, fmt.Errorf("line %d: duplicate qubits directive", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("line %d: bad qubit count %q", lineNo, fields[1])
+			}
+			c = NewCircuit(n)
+			continue
+		}
+		if c == nil {
+			return nil, fmt.Errorf("line %d: %q before qubits directive", lineNo, op)
+		}
+		if err := parseGate(c, op, fields[1:]); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("quantum: empty circuit file (missing qubits directive)")
+	}
+	return c, nil
+}
+
+func parseGate(c *Circuit, op string, args []string) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%v", p)
+		}
+	}()
+	ints := func(n int) ([]int, error) {
+		if len(args) < n {
+			return nil, fmt.Errorf("%s needs %d qubit args, got %d", op, n, len(args))
+		}
+		out := make([]int, n)
+		for i := 0; i < n; i++ {
+			v, err := strconv.Atoi(args[i])
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad qubit %q", op, args[i])
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	angle := func(pos int) (float64, error) {
+		if len(args) <= pos {
+			return 0, fmt.Errorf("%s needs an angle", op)
+		}
+		v, err := strconv.ParseFloat(args[pos], 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad angle %q", op, args[pos])
+		}
+		return v, nil
+	}
+	switch op {
+	case "h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx", "sy", "measure":
+		qs, err := ints(1)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "h":
+			c.H(qs[0])
+		case "x":
+			c.X(qs[0])
+		case "y":
+			c.Y(qs[0])
+		case "z":
+			c.Z(qs[0])
+		case "s":
+			c.S(qs[0])
+		case "sdg":
+			c.Sdg(qs[0])
+		case "t":
+			c.T(qs[0])
+		case "tdg":
+			c.Tdg(qs[0])
+		case "sx":
+			c.SqrtX(qs[0])
+		case "sy":
+			c.SqrtY(qs[0])
+		case "measure":
+			c.Measure(qs[0])
+		}
+	case "rx", "ry", "rz", "p":
+		qs, err := ints(1)
+		if err != nil {
+			return err
+		}
+		theta, err := angle(1)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "rx":
+			c.RX(qs[0], theta)
+		case "ry":
+			c.RY(qs[0], theta)
+		case "rz":
+			c.RZ(qs[0], theta)
+		case "p":
+			c.Phase(qs[0], theta)
+		}
+	case "cx", "cz":
+		qs, err := ints(2)
+		if err != nil {
+			return err
+		}
+		if op == "cx" {
+			c.CNOT(qs[0], qs[1])
+		} else {
+			c.CZ(qs[0], qs[1])
+		}
+	case "cp":
+		qs, err := ints(2)
+		if err != nil {
+			return err
+		}
+		theta, err := angle(2)
+		if err != nil {
+			return err
+		}
+		c.CPhase(qs[0], qs[1], theta)
+	case "swap":
+		qs, err := ints(2)
+		if err != nil {
+			return err
+		}
+		c.SWAP(qs[0], qs[1])
+	case "ccx", "ccz":
+		qs, err := ints(3)
+		if err != nil {
+			return err
+		}
+		if op == "ccx" {
+			c.Toffoli(qs[0], qs[1], qs[2])
+		} else {
+			c.CCZ(qs[0], qs[1], qs[2])
+		}
+	default:
+		return fmt.Errorf("unknown gate %q", op)
+	}
+	return nil
+}

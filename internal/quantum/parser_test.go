@@ -1,0 +1,147 @@
+package quantum
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+)
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	circuits := map[string]*Circuit{
+		"ghz":    GHZ(5),
+		"qft":    QFT(5, 3),
+		"qaoa":   QAOA(6, 2, 4),
+		"grover": Grover(4, 9, 1),
+		"mixed": NewCircuit(4).H(0).SqrtX(1).SqrtY(2).S(3).Sdg(0).T(1).Tdg(2).
+			RX(0, 0.7).RY(1, -1.3).RZ(2, 2.9).Phase(3, 0.1).
+			CNOT(0, 1).CZ(1, 2).CPhase(2, 3, 0.25).Toffoli(0, 1, 2).CCZ(1, 2, 3).
+			Measure(0),
+	}
+	for name, c := range circuits {
+		name, c := name, c
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Serialize(&buf, c); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Parse(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.N != c.N || len(got.Gates) != len(c.Gates) {
+				t.Fatalf("shape mismatch: %d/%d qubits, %d/%d gates", got.N, c.N, len(got.Gates), len(c.Gates))
+			}
+			// Semantic equivalence: both circuits produce the same
+			// state (measure gates are compared structurally only).
+			if c.CountKind("measure") == 0 {
+				a, b := NewState(c.N), NewState(c.N)
+				a.ApplyCircuit(c)
+				b.ApplyCircuit(got)
+				if f := Fidelity(a, b); math.Abs(f-1) > 1e-9 {
+					t.Fatalf("parsed circuit fidelity %v", f)
+				}
+			} else {
+				for i := range c.Gates {
+					if c.Gates[i].Kind != got.Gates[i].Kind || c.Gates[i].Target != got.Gates[i].Target {
+						t.Fatalf("gate %d mismatch", i)
+					}
+					for r := 0; r < 2; r++ {
+						for col := 0; col < 2; col++ {
+							if cmplx.Abs(c.Gates[i].U[r][col]-got.Gates[i].U[r][col]) > 1e-12 {
+								t.Fatalf("gate %d matrix mismatch", i)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	src := `
+# a comment
+qubits 3
+
+h 0
+cx 0 1
+ccx 0 1 2
+rz 2 3.14159
+measure 2
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 3 || len(c.Gates) != 5 {
+		t.Fatalf("parsed %d qubits, %d gates", c.N, len(c.Gates))
+	}
+	if c.Gates[4].Kind != KindMeasure {
+		t.Fatal("measure not parsed")
+	}
+}
+
+func TestParseSwapExpands(t *testing.T) {
+	c, err := Parse(strings.NewReader("qubits 2\nswap 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CountKind("cx") != 3 {
+		t.Fatalf("swap expanded to %d CNOTs", c.CountKind("cx"))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                         // empty
+		"h 0\n",                    // gate before qubits
+		"qubits 0\n",               // bad count
+		"qubits 2\nqubits 2\n",     // duplicate directive
+		"qubits 2\nfoo 0\n",        // unknown gate
+		"qubits 2\nh 5\n",          // out of range
+		"qubits 2\ncx 0\n",         // missing arg
+		"qubits 2\nrz 0 notanum\n", // bad angle
+		"qubits 2\ncx 0 0\n",       // duplicate qubit
+		"qubits 2\nrx 1\n",         // missing angle
+		"qubits 3\nccx 0 1\n",      // missing arg
+		"qubits two\n",             // bad count format
+	}
+	for i, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d (%q) parsed without error", i, src)
+		}
+	}
+}
+
+func TestAngleRecovery(t *testing.T) {
+	for _, theta := range []float64{0.1, -0.7, 1.5707963, 3.0, -2.5} {
+		for _, mk := range []struct {
+			name string
+			g    Gate
+		}{
+			{"rx", Gate{Name: "rx", U: RX(theta)}},
+			{"ry", Gate{Name: "ry", U: RY(theta)}},
+			{"rz", Gate{Name: "rz", U: RZ(theta)}},
+			{"p", Gate{Name: "p", U: Phase(theta)}},
+		} {
+			got, err := angleOf(mk.g)
+			if err != nil {
+				t.Fatalf("%s(%v): %v", mk.name, theta, err)
+			}
+			if math.Abs(got-theta) > 1e-12 {
+				t.Fatalf("%s(%v): recovered %v", mk.name, theta, got)
+			}
+		}
+	}
+}
+
+func TestSerializeRejectsUnknownGate(t *testing.T) {
+	c := NewCircuit(2)
+	c.Apply("weird", MatH, 0)
+	var buf bytes.Buffer
+	if err := Serialize(&buf, c); err == nil {
+		t.Fatal("unknown gate serialized")
+	}
+}

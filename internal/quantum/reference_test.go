@@ -1,0 +1,240 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewStateIsZeroKet(t *testing.T) {
+	s := NewState(3)
+	if s.Amps[0] != 1 {
+		t.Fatal("amp[0] != 1")
+	}
+	for i := 1; i < len(s.Amps); i++ {
+		if s.Amps[i] != 0 {
+			t.Fatalf("amp[%d] != 0", i)
+		}
+	}
+}
+
+func TestHadamardTwiceIsIdentity(t *testing.T) {
+	s := NewState(4)
+	c := NewCircuit(4)
+	for q := 0; q < 4; q++ {
+		c.H(q).H(q)
+	}
+	s.ApplyCircuit(c)
+	if cmplx.Abs(s.Amps[0]-1) > 1e-12 {
+		t.Fatalf("amp[0] = %v", s.Amps[0])
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := NewState(2)
+	s.ApplyCircuit(NewCircuit(2).H(0).CNOT(0, 1))
+	want := 1 / math.Sqrt2
+	if cmplx.Abs(s.Amps[0]-complex(want, 0)) > 1e-12 ||
+		cmplx.Abs(s.Amps[3]-complex(want, 0)) > 1e-12 ||
+		cmplx.Abs(s.Amps[1]) > 1e-12 || cmplx.Abs(s.Amps[2]) > 1e-12 {
+		t.Fatalf("bell amps = %v", s.Amps)
+	}
+}
+
+func TestGHZState(t *testing.T) {
+	n := 5
+	s := NewState(n)
+	s.ApplyCircuit(GHZ(n))
+	want := 1 / math.Sqrt2
+	last := uint64(1<<uint(n)) - 1
+	if math.Abs(math.Sqrt(s.Probability(0))-want) > 1e-12 ||
+		math.Abs(math.Sqrt(s.Probability(last))-want) > 1e-12 {
+		t.Fatalf("GHZ probabilities wrong: %v %v", s.Probability(0), s.Probability(last))
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Fatalf("norm = %v", s.Norm())
+	}
+}
+
+func TestControlledGateRespectsControl(t *testing.T) {
+	// CNOT on |00⟩ does nothing; on |10⟩ flips target.
+	s := NewState(2)
+	s.ApplyGate(Gate{Name: "cx", Target: 1, Controls: []int{0}, U: MatX})
+	if cmplx.Abs(s.Amps[0]-1) > 1e-12 {
+		t.Fatal("CNOT fired with control |0⟩")
+	}
+	s2 := NewState(2)
+	s2.ApplyCircuit(NewCircuit(2).X(0).CNOT(0, 1))
+	if cmplx.Abs(s2.Amps[3]-1) > 1e-12 {
+		t.Fatalf("CNOT did not fire: %v", s2.Amps)
+	}
+}
+
+func TestToffoliTruthTable(t *testing.T) {
+	for in := uint64(0); in < 8; in++ {
+		s := NewState(3)
+		c := NewCircuit(3)
+		for q := 0; q < 3; q++ {
+			if in>>uint(q)&1 == 1 {
+				c.X(q)
+			}
+		}
+		c.Toffoli(0, 1, 2)
+		s.ApplyCircuit(c)
+		want := in
+		if in&3 == 3 {
+			want ^= 4
+		}
+		if s.Probability(want) < 1-1e-12 {
+			t.Fatalf("Toffoli(%03b): P(%03b) = %v", in, want, s.Probability(want))
+		}
+	}
+}
+
+func TestNormPreservedByRandomCircuit(t *testing.T) {
+	s := NewState(6)
+	s.ApplyCircuit(RandomCircuit(6, 200, 42))
+	if math.Abs(s.Norm()-1) > 1e-9 {
+		t.Fatalf("norm drifted to %v", s.Norm())
+	}
+}
+
+func TestQuickUnitariesPreserveNorm(t *testing.T) {
+	f := func(thetas [3]float64, targets [3]uint8) bool {
+		s := NewState(4)
+		s.ApplyCircuit(RandomCircuit(4, 20, 7))
+		c := NewCircuit(4)
+		c.RX(int(targets[0])%4, thetas[0])
+		c.RY(int(targets[1])%4, thetas[1])
+		c.RZ(int(targets[2])%4, thetas[2])
+		s.ApplyCircuit(c)
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbabilityOne(t *testing.T) {
+	s := NewState(2)
+	s.ApplyCircuit(NewCircuit(2).X(0))
+	if p := s.ProbabilityOne(0); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("P(q0=1) = %v", p)
+	}
+	if p := s.ProbabilityOne(1); p > 1e-12 {
+		t.Fatalf("P(q1=1) = %v", p)
+	}
+	s2 := NewState(1)
+	s2.ApplyCircuit(NewCircuit(1).H(0))
+	if p := s2.ProbabilityOne(0); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("P = %v", p)
+	}
+}
+
+func TestMeasureCollapses(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		s := NewState(3)
+		s.ApplyCircuit(GHZ(3))
+		out := s.Measure(0, rng)
+		// GHZ collapse: all qubits agree afterwards.
+		for q := 1; q < 3; q++ {
+			p := s.ProbabilityOne(q)
+			if out == 1 && math.Abs(p-1) > 1e-9 || out == 0 && p > 1e-9 {
+				t.Fatalf("trial %d: qubit %d disagrees with outcome %d (p=%v)", trial, q, out, p)
+			}
+		}
+		if math.Abs(s.Norm()-1) > 1e-9 {
+			t.Fatalf("norm after collapse = %v", s.Norm())
+		}
+	}
+}
+
+func TestMeasureStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ones := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		s := NewState(1)
+		s.ApplyCircuit(NewCircuit(1).H(0))
+		ones += s.Measure(0, rng)
+	}
+	frac := float64(ones) / trials
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("H|0⟩ measured 1 with frequency %v", frac)
+	}
+}
+
+func TestApplyCircuitRngIntermediateMeasurement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewCircuit(2).H(0).Measure(0).CNOT(0, 1)
+	s := NewState(2)
+	outs := s.ApplyCircuitRng(c, rng)
+	if len(outs) != 1 {
+		t.Fatalf("outcomes = %v", outs)
+	}
+	// After measuring q0 and CNOT, both qubits equal the outcome.
+	want := uint64(0)
+	if outs[0] == 1 {
+		want = 3
+	}
+	if s.Probability(want) < 1-1e-9 {
+		t.Fatalf("state inconsistent with outcome: %v", s.Amps)
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	a := NewState(3)
+	b := NewState(3)
+	if f := Fidelity(a, b); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("identical fidelity = %v", f)
+	}
+	b.ApplyCircuit(NewCircuit(3).X(0))
+	if f := Fidelity(a, b); f > 1e-12 {
+		t.Fatalf("orthogonal fidelity = %v", f)
+	}
+	// Global phase does not change fidelity.
+	c := NewState(3)
+	c.ApplyCircuit(NewCircuit(3).Z(0)) // no-op on |000⟩ amplitude sign? Z|0⟩=|0⟩
+	c.Amps[0] *= cmplx.Exp(1i * 0.7)
+	if f := Fidelity(a, c); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("global-phase fidelity = %v", f)
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	s := NewState(2)
+	s.ApplyCircuit(NewCircuit(2).H(0).CNOT(0, 1))
+	rng := rand.New(rand.NewSource(12))
+	counts := map[uint64]int{}
+	for _, v := range s.Sample(rng, 4000) {
+		counts[v]++
+	}
+	if counts[1] != 0 || counts[2] != 0 {
+		t.Fatalf("bell sampled odd states: %v", counts)
+	}
+	if math.Abs(float64(counts[0])/4000-0.5) > 0.05 {
+		t.Fatalf("bell distribution skewed: %v", counts)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := NewState(2)
+	c := s.Clone()
+	s.ApplyCircuit(NewCircuit(2).X(0))
+	if c.Amps[0] != 1 {
+		t.Fatal("clone mutated with original")
+	}
+}
+
+func TestCollapseImpossiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s := NewState(1) // |0⟩
+	s.Collapse(0, 1, 0)
+}

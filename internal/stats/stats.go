@@ -1,0 +1,200 @@
+// Package stats supplies the small statistics toolkit used by the
+// evaluation harness: empirical CDFs (Figs. 12 and 14 of the paper),
+// lag-1 autocorrelation (the paper's uncorrelatedness check for
+// Solution C), histograms, and summary helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDFPoint is one (value, cumulative probability) sample of an empirical
+// distribution function.
+type CDFPoint struct {
+	Value float64
+	P     float64
+}
+
+// CDF returns the empirical cumulative distribution of xs evaluated at
+// `points` evenly spaced quantiles (plus the extremes). xs is not
+// modified.
+func CDF(xs []float64, points int) []CDFPoint {
+	if len(xs) == 0 || points <= 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, 0, points+1)
+	for i := 0; i <= points; i++ {
+		q := float64(i) / float64(points)
+		idx := int(q * float64(len(s)-1))
+		out = append(out, CDFPoint{Value: s[idx], P: float64(idx+1) / float64(len(s))})
+	}
+	return out
+}
+
+// CDFAt returns the empirical P(X <= v) for sorted data. Data must be
+// ascending; use sort.Float64s first.
+func CDFAt(sorted []float64, v float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(sorted, v)
+	// Count elements <= v (SearchFloat64s finds first >= v).
+	for i < len(sorted) && sorted[i] == v {
+		i++
+	}
+	return float64(i) / float64(len(sorted))
+}
+
+// Lag1Autocorrelation computes the lag-1 autocorrelation coefficient of
+// xs. The paper uses this to argue Solution C's compression errors are
+// uncorrelated (coefficients within [-1E-4, 1E-4] on dense data).
+func Lag1Autocorrelation(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mean := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+		if i+1 < n {
+			num += d * (xs[i+1] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the extrema of xs. It panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs by
+// nearest-rank on a sorted copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	return s[int(q*float64(len(s)-1)+0.5)]
+}
+
+// Histogram bins xs into `bins` equal-width buckets over [lo, hi] and
+// returns the counts. Values outside the range clamp to the edge bins.
+func Histogram(xs []float64, lo, hi float64, bins int) []int {
+	if bins <= 0 || hi <= lo {
+		return nil
+	}
+	counts := make([]int, bins)
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// UniformityKS returns the Kolmogorov–Smirnov statistic of xs against the
+// uniform distribution on [lo, hi]: the max deviation between the
+// empirical CDF and the uniform CDF. Small values (≲ 1.36/sqrt(n) at 5%
+// significance) mean "consistent with uniform" — the paper's observation
+// for Solution C's normalized errors (Fig. 14).
+func UniformityKS(xs []float64, lo, hi float64) float64 {
+	n := len(xs)
+	if n == 0 || hi <= lo {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var d float64
+	for i, x := range s {
+		u := (x - lo) / (hi - lo)
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		e0 := float64(i) / float64(n)
+		e1 := float64(i+1) / float64(n)
+		d = math.Max(d, math.Max(math.Abs(e0-u), math.Abs(e1-u)))
+	}
+	return d
+}
+
+// FormatBytes renders a byte count using binary units, matching the
+// paper's TB/PB/EB table style.
+func FormatBytes(b float64) string {
+	units := []string{"B", "KB", "MB", "GB", "TB", "PB", "EB", "ZB"}
+	i := 0
+	for b >= 1024 && i < len(units)-1 {
+		b /= 1024
+		i++
+	}
+	if b == math.Trunc(b) {
+		return fmt.Sprintf("%.0f %s", b, units[i])
+	}
+	return fmt.Sprintf("%.2f %s", b, units[i])
+}
