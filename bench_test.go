@@ -6,7 +6,9 @@ package qcsim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"qcsim/internal/compress"
 	"qcsim/internal/compress/fpziplike"
@@ -286,6 +288,75 @@ func BenchmarkFig16StrongScaling(b *testing.B) {
 				if err := s.Run(cir); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// --- Fig. 16b: intra-rank worker-pool scaling ---
+
+// workerBenchCircuit is applyLocal-heavy: every target sits in the
+// offset segment, so each gate is a pure decompress/compute/recompress
+// sweep over all blocks — exactly the loop the worker pool fans out.
+func workerBenchCircuit(qubits, offsetQubits, layers int) *quantum.Circuit {
+	c := quantum.NewCircuit(qubits)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < offsetQubits; q++ {
+			if l%2 == 0 {
+				c.H(q)
+			} else {
+				c.T(q)
+			}
+		}
+	}
+	return c
+}
+
+// BenchmarkWorkerScaling compares Workers=1 against wider pools on the
+// same workload and reports the measured speedup (the states are
+// bit-identical across the sweep). BlockAmps=512 on 14 qubits leaves 9
+// offset bits and 32 blocks per rank to fan out; pool widths are capped
+// there because core clamps Workers to the block count. Only Run is
+// timed — construction and the (serial) Reset stay outside the clock so
+// the speedup metric reflects the gate loop alone.
+func BenchmarkWorkerScaling(b *testing.B) {
+	const qubits, blockAmps = 14, 512
+	nb := (1 << qubits) / blockAmps
+	cir := workerBenchCircuit(qubits, 9, 8)
+	widths := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		if n > nb {
+			n = nb
+		}
+		if n > widths[len(widths)-1] {
+			widths = append(widths, n)
+		}
+	}
+	var baseline float64 // run-only ns/op at Workers=1, set by the first sub-benchmark
+	for _, workers := range widths {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s, err := core.New(core.Config{Qubits: qubits, Ranks: 1, BlockAmps: blockAmps, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var running time.Duration
+			for i := 0; i < b.N; i++ {
+				if err := s.Reset(); err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				if err := s.Run(cir); err != nil {
+					b.Fatal(err)
+				}
+				running += time.Since(start)
+			}
+			nsPerOp := float64(running.Nanoseconds()) / float64(b.N)
+			b.ReportMetric(nsPerOp, "run-ns/op")
+			if workers == 1 {
+				baseline = nsPerOp
+			} else if baseline > 0 {
+				b.ReportMetric(baseline/nsPerOp, "speedup-vs-1-worker")
 			}
 		})
 	}

@@ -19,6 +19,7 @@ func main() {
 	small := flag.Bool("small", false, "run at the fast CI scale")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "export figure data as CSV files into this directory")
+	workers := flag.Int("workers", 0, "worker goroutines per rank in simulator runs (0 = NumCPU/ranks)")
 	flag.Parse()
 
 	if *list {
@@ -31,6 +32,7 @@ func main() {
 	if *small {
 		opt = harness.Small()
 	}
+	opt.Workers = *workers
 	if *csvDir != "" {
 		if err := harness.ExportCSV(*csvDir, opt); err != nil {
 			fmt.Fprintf(os.Stderr, "qcbench: csv export: %v\n", err)

@@ -29,6 +29,7 @@ func main() {
 		depth      = flag.Int("depth", 11, "cycles (supremacy) or gate count (random)")
 		rounds     = flag.Int("rounds", 2, "QAOA rounds / Grover iterations")
 		ranks      = flag.Int("ranks", 1, "SPMD ranks (power of two)")
+		workers    = flag.Int("workers", 0, "worker goroutines per rank over the block loop (0 = NumCPU/ranks)")
 		blockAmps  = flag.Int("block", 4096, "amplitudes per block (power of two)")
 		budgetFrac = flag.Float64("budget-frac", 0, "per-run memory budget as a fraction of 2^(n+4) bytes (0 = unlimited)")
 		cache      = flag.Int("cache", 64, "compressed block cache lines (0 = off)")
@@ -81,6 +82,7 @@ func main() {
 	sim, err := core.New(core.Config{
 		Qubits:       cir.N,
 		Ranks:        *ranks,
+		Workers:      *workers,
 		BlockAmps:    *blockAmps,
 		MemoryBudget: perRank,
 		CacheLines:   *cache,

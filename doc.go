@@ -4,12 +4,34 @@
 // amplitudes compressed in memory, trading computation time and a
 // bounded amount of fidelity for memory space.
 //
+// # Module layout
+//
 // The simulator lives in internal/core; the compressor suite (the
 // paper's Solutions A-D plus SZ/ZFP/FPZIP-model comparators) in
 // internal/compress/...; circuit construction and the dense reference
 // simulator in internal/quantum; the SPMD rank runtime in internal/mpi;
 // and the experiment harness that regenerates every table and figure of
 // the paper in internal/harness.
+//
+// # Parallelism
+//
+// Two knobs mirror the paper's Theta deployment (MPI ranks × OpenMP
+// threads): core.Config.Ranks partitions the state across SPMD ranks
+// (in-process goroutine ranks over internal/mpi), and
+// core.Config.Workers fans each rank's decompress → apply-gate →
+// recompress block loop out across a worker pool, each worker owning a
+// private scratch-buffer pair (Eq. 8). Results — amplitudes,
+// measurement outcomes, and the Eq. 11 fidelity ledger — are
+// bit-identical for every worker count.
+//
+// # Building and testing
+//
+// The module root is this directory (module qcsim):
+//
+//	go build ./...
+//	go test ./...
+//	go test -race ./internal/core/
+//	go test -bench=. -run '^$' .
 //
 // Start with README.md, the examples/ directory, and:
 //

@@ -1,0 +1,3 @@
+module qcsim
+
+go 1.22

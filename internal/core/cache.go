@@ -1,6 +1,10 @@
 package core
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
 
 // blockCache is the compressed block cache of §3.4: an LRU map from
 // (gate signature, error level, compressed input block(s)) to the
@@ -10,13 +14,20 @@ import "container/list"
 // If the state has no redundancy the cache never hits, so it disables
 // itself after a probation window, avoiding the paper's cache-miss
 // penalty.
+//
+// mu makes the cache safe for the rank's worker pool: workers hit it
+// concurrently during a fan-out, and even get mutates the LRU list.
+// disabled is atomic so the post-shutoff fast path — the common case on
+// redundancy-free states — never touches the lock (or even builds a
+// key: callers check enabled() first).
 type blockCache struct {
+	mu       sync.Mutex
 	cap      int
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 	lookups  int64
 	hits     int64
-	disabled bool
+	disabled atomic.Bool
 	// probation is the number of lookups after which a hitless cache
 	// shuts off.
 	probation int64
@@ -40,6 +51,12 @@ func newBlockCache(lines int) *blockCache {
 	}
 }
 
+// enabled reports whether the cache is worth consulting; callers skip
+// key construction entirely when it is not.
+func (c *blockCache) enabled() bool {
+	return c != nil && !c.disabled.Load()
+}
+
 // key builds the lookup key from the gate signature, the escalation
 // level, and the raw compressed input blocks (cb2 nil for single-block
 // ops).
@@ -55,7 +72,12 @@ func cacheKey(sig string, level int, cb1, cb2 []byte) string {
 
 // get returns the cached outputs for key, if present.
 func (c *blockCache) get(key string) (out1, out2 []byte, ok bool) {
-	if c == nil || c.disabled {
+	if !c.enabled() {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disabled.Load() {
 		return nil, nil, false
 	}
 	c.lookups++
@@ -68,7 +90,7 @@ func (c *blockCache) get(key string) (out1, out2 []byte, ok bool) {
 	if c.hits == 0 && c.lookups >= c.probation {
 		// §3.4: no redundancy in the state — stop paying the miss
 		// penalty.
-		c.disabled = true
+		c.disabled.Store(true)
 		c.ll.Init()
 		c.items = nil
 	}
@@ -78,7 +100,12 @@ func (c *blockCache) get(key string) (out1, out2 []byte, ok bool) {
 // put stores the outputs; inputs are copied so later mutation of the
 // block store cannot corrupt the cache.
 func (c *blockCache) put(key string, out1, out2 []byte) {
-	if c == nil || c.disabled {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disabled.Load() {
 		return
 	}
 	if el, hit := c.items[key]; hit {

@@ -73,7 +73,7 @@ func TestCacheSelfDisables(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, rs := range s.ranks {
-		if rs.cache != nil && !rs.cache.disabled && rs.cache.hits == 0 && rs.cache.lookups > rs.cache.probation {
+		if rs.cache.enabled() && rs.cache.hits == 0 && rs.cache.lookups > rs.cache.probation {
 			t.Fatalf("hitless cache still enabled after %d lookups", rs.cache.lookups)
 		}
 	}

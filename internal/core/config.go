@@ -18,6 +18,7 @@ import (
 	"compress/flate"
 	"fmt"
 	"math/bits"
+	"runtime"
 
 	"qcsim/internal/compress"
 	"qcsim/internal/compress/lossless"
@@ -36,6 +37,16 @@ type Config struct {
 	Qubits int
 	// Ranks is the number of SPMD ranks (power of two). Defaults to 1.
 	Ranks int
+	// Workers is the intra-rank worker-pool width: how many goroutines
+	// fan out over one rank's block loop (the analog of the paper's 64
+	// OpenMP threads per MPI rank). Each worker owns a private scratch
+	// pair allocated on first schedule, so a rank that actually fans
+	// out holds up to Workers copies of the Eq. 8 working set
+	// (32·BlockAmps bytes each) — uncompressed scratch that, like the
+	// paper's MCDRAM buffers, is NOT charged against MemoryBudget.
+	// Results are bit-identical for every worker count. Defaults to
+	// runtime.NumCPU()/Ranks, min 1; clamped to the block count.
+	Workers int
 	// BlockAmps is the number of amplitudes per block (power of two;
 	// the paper uses 2^20 = 16 MB blocks). It is clamped to the
 	// per-rank slice size. Defaults to 4096 — laptop-scale blocks.
@@ -84,6 +95,15 @@ func (c Config) withDefaults() (Config, error) {
 	if perRank < 1 {
 		return c, fmt.Errorf("core: %d ranks leave no amplitudes per rank for %d qubits", c.Ranks, c.Qubits)
 	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("core: negative workers")
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU() / c.Ranks
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
 	if c.BlockAmps == 0 {
 		c.BlockAmps = 4096
 	}
@@ -92,6 +112,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.BlockAmps > 1<<uint(perRank) {
 		c.BlockAmps = 1 << uint(perRank)
+	}
+	// A worker beyond the block count can never be scheduled; clamping
+	// here keeps New from allocating scratch pairs (2×16 MB each at
+	// paper-scale blocks) that the fan-out could never touch.
+	if nb := (1 << uint(perRank)) / c.BlockAmps; c.Workers > nb {
+		c.Workers = nb
 	}
 	if c.Lossless == nil {
 		c.Lossless = lossless.New(flate.BestSpeed, false)

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -52,18 +53,46 @@ type Simulator struct {
 	noise *NoiseModel
 }
 
-// rankState is one rank's share: nb compressed blocks plus the two
-// scratch buffers of Eq. 8 (the MCDRAM working set).
+// rankState is one rank's share: nb compressed blocks plus a pool of
+// worker scratch pairs (the MCDRAM working set of Eq. 8, one copy per
+// worker). mu guards the cross-worker shared state: the footprint
+// accounting inside updateBlock. Block slots themselves need no lock —
+// during one gate each block index is owned by exactly one worker.
 type rankState struct {
-	id       int
-	blocks   [][]byte
-	scratchX []float64
-	scratchY []float64
-	level    int
-	cache    *blockCache
-	stats    Stats
-	rng      *rand.Rand // per-rank noise stream (deterministic)
+	id      int
+	blocks  [][]byte
+	workers []*workerState
+	level   int
+	cache   *blockCache
+	stats   Stats
+	rng     *rand.Rand // per-rank noise stream (deterministic)
+	mu      sync.Mutex
 }
+
+// workerState is one worker's private slice of the rank working set: a
+// scratch buffer pair plus a stats shard that is merged into the rank
+// totals after every fan-out (so the Table 2 accounting matches the
+// sequential engine without any per-block locking). Buffers beyond
+// worker 0's are allocated on first schedule, not in New — a simulator
+// that never fans out (or a machine-wide default pool that the block
+// count keeps from ever filling) pays for exactly one Eq. 8 pair, the
+// same as the sequential engine.
+type workerState struct {
+	x, y  []float64
+	stats Stats
+}
+
+// ensure allocates the worker's scratch pair on first use.
+func (w *workerState) ensure(n int) {
+	if w.x == nil {
+		w.x = make([]float64, n)
+		w.y = make([]float64, n)
+	}
+}
+
+// w0 returns the worker whose buffers the sequential code paths
+// (Reset, cross-rank exchange, checkpointing) borrow.
+func (rs *rankState) w0() *workerState { return rs.workers[0] }
 
 // New builds a Simulator initialized to |0...0⟩.
 func New(cfg Config) (*Simulator, error) {
@@ -88,17 +117,22 @@ func New(cfg Config) (*Simulator, error) {
 	s.ranks = make([]*rankState, cfg.Ranks)
 	for r := range s.ranks {
 		rs := &rankState{
-			id:       r,
-			blocks:   make([][]byte, nb),
-			scratchX: make([]float64, 2*s.blockAmps()),
-			scratchY: make([]float64, 2*s.blockAmps()),
-			cache:    newBlockCache(cfg.CacheLines),
+			id:      r,
+			blocks:  make([][]byte, nb),
+			workers: make([]*workerState, cfg.Workers),
+			cache:   newBlockCache(cfg.CacheLines),
 			// The noise stream must be IDENTICAL on every rank: each
 			// rank draws the same variates per gate, so all ranks
 			// agree on whether (and which) Pauli fires — otherwise a
 			// cross-rank noise gate deadlocks half the pairs.
 			rng: rand.New(rand.NewSource(cfg.Seed ^ 0x9E3779B9)),
 		}
+		for w := range rs.workers {
+			rs.workers[w] = &workerState{}
+		}
+		// Worker 0's pair is the one the sequential paths (Reset,
+		// cross-rank exchange) borrow; it always exists.
+		rs.workers[0].ensure(2 * s.blockAmps())
 		s.ranks[r] = rs
 	}
 	if err := s.Reset(); err != nil {
@@ -125,22 +159,26 @@ func (s *Simulator) Reset() error {
 	for _, rs := range s.ranks {
 		rs.level = 0
 		rs.stats = Stats{}
-		for i := range rs.scratchX {
-			rs.scratchX[i] = 0
+		for _, w := range rs.workers {
+			w.stats = Stats{}
+		}
+		scratch := rs.w0().x
+		for i := range scratch {
+			scratch[i] = 0
 		}
 		var footprint int64
 		for b := range rs.blocks {
 			if rs.id == 0 && b == 0 {
-				rs.scratchX[0] = 1 // amplitude of |0...0⟩
+				scratch[0] = 1 // amplitude of |0...0⟩
 			}
-			blob, err := s.compressBlock(rs, rs.scratchX)
+			blob, err := s.compressBlock(rs.level, scratch, &rs.stats)
 			if err != nil {
 				return err
 			}
 			rs.blocks[b] = blob
 			footprint += int64(len(blob))
 			if rs.id == 0 && b == 0 {
-				rs.scratchX[0] = 0
+				scratch[0] = 0
 			}
 		}
 		rs.stats.CurrentFootprint = footprint
@@ -167,17 +205,21 @@ func (s *Simulator) SetBasisState(idx uint64) error {
 	rs := s.ranks[r]
 	// Clear block (rank0,block0) then set the target block.
 	zero := make([]float64, 2*s.blockAmps())
-	blob0, err := s.compressBlock(s.ranks[0], zero)
+	blob0, err := s.compressBlock(s.ranks[0].level, zero, &s.ranks[0].stats)
 	if err != nil {
 		return err
 	}
 	s.updateBlock(s.ranks[0], 0, blob0)
 	zero[2*o] = 1
-	blob, err := s.compressBlock(rs, zero)
+	blob, err := s.compressBlock(rs.level, zero, &rs.stats)
 	if err != nil {
 		return err
 	}
 	s.updateBlock(rs, b, blob)
+	s.maybeEscalate(s.ranks[0])
+	if rs != s.ranks[0] {
+		s.maybeEscalate(rs)
+	}
 	return nil
 }
 
@@ -196,11 +238,12 @@ func (s *Simulator) compose(rank, block, offset int) uint64 {
 		uint64(block)<<uint(s.offsetBits) | uint64(offset)
 }
 
-// compressBlock encodes scratch under the rank's current level,
-// appending the codec tag.
-func (s *Simulator) compressBlock(rs *rankState, scratch []float64) ([]byte, error) {
+// compressBlock encodes scratch under the given error level, appending
+// the codec tag. Timing is charged to st — a worker's shard on the
+// parallel paths, the rank totals on sequential ones.
+func (s *Simulator) compressBlock(level int, scratch []float64, st *Stats) ([]byte, error) {
 	start := time.Now()
-	defer func() { rs.stats.CompressTime += time.Since(start) }()
+	defer func() { st.CompressTime += time.Since(start) }()
 	if s.cfg.Uncompressed {
 		blob := make([]byte, 1+len(scratch)*8)
 		blob[0] = tagRaw
@@ -209,14 +252,14 @@ func (s *Simulator) compressBlock(rs *rankState, scratch []float64) ([]byte, err
 		}
 		return blob, nil
 	}
-	if rs.level == 0 {
+	if level == 0 {
 		blob, err := s.cfg.Lossless.Compress([]byte{tagLossless}, scratch, compress.Options{Mode: compress.Lossless})
 		if err != nil {
 			return nil, fmt.Errorf("core: lossless compress: %w", err)
 		}
 		return blob, nil
 	}
-	bound := s.cfg.ErrorLevels[rs.level-1]
+	bound := s.cfg.ErrorLevels[level-1]
 	blob, err := s.cfg.Lossy.Compress([]byte{tagLossy}, scratch, compress.Options{Mode: compress.PointwiseRelative, Bound: bound})
 	if err != nil {
 		return nil, fmt.Errorf("core: lossy compress: %w", err)
@@ -224,10 +267,11 @@ func (s *Simulator) compressBlock(rs *rankState, scratch []float64) ([]byte, err
 	return blob, nil
 }
 
-// decompressBlock decodes a stored block into scratch.
-func (s *Simulator) decompressBlock(rs *rankState, blob []byte, scratch []float64) error {
+// decompressBlock decodes a stored block into scratch, charging the
+// timing to st.
+func (s *Simulator) decompressBlock(blob []byte, scratch []float64, st *Stats) error {
 	start := time.Now()
-	defer func() { rs.stats.DecompressTime += time.Since(start) }()
+	defer func() { st.DecompressTime += time.Since(start) }()
 	if len(blob) == 0 {
 		return fmt.Errorf("core: empty block")
 	}
@@ -249,11 +293,28 @@ func (s *Simulator) decompressBlock(rs *rankState, blob []byte, scratch []float6
 	}
 }
 
-// updateBlock swaps in a freshly compressed block, maintaining footprint
-// accounting and the §3.7 escalation rule.
+// updateBlock swaps in a freshly compressed block, maintaining the
+// footprint accounting under the rank lock (workers racing on distinct
+// block indices still share the footprint counters). The high-water
+// mark is NOT sampled here: a mid-gate running peak would depend on
+// block completion order and make MaxFootprint irreproducible under a
+// worker pool — maybeEscalate samples it at the gate boundary instead.
 func (s *Simulator) updateBlock(rs *rankState, b int, blob []byte) {
+	rs.mu.Lock()
 	rs.stats.CurrentFootprint += int64(len(blob)) - int64(len(rs.blocks[b]))
 	rs.blocks[b] = blob
+	rs.mu.Unlock()
+}
+
+// maybeEscalate is the gate-boundary footprint accounting: it samples
+// the MaxFootprint high-water mark and applies the §3.7 escalation rule
+// (footprint over budget → relax the error bound one level for
+// subsequent gates). Deciding both once per gate — rather than inside
+// every block update — makes escalation timing, every compressed bit,
+// and the Table 2 peak-footprint row independent of the worker
+// interleaving: the footprint sum after a gate does not depend on
+// block completion order.
+func (s *Simulator) maybeEscalate(rs *rankState) {
 	if rs.stats.CurrentFootprint > rs.stats.MaxFootprint {
 		rs.stats.MaxFootprint = rs.stats.CurrentFootprint
 	}
@@ -269,10 +330,10 @@ func (s *Simulator) updateBlock(rs *rankState, b int, blob []byte) {
 
 // noteLevel records the level a rank used while executing gate gi, for
 // the fidelity ledger.
-func (s *Simulator) noteLevel(rs *rankState, gi int) {
-	lvl := uint32(rs.level)
-	if rs.level > rs.stats.FinalLevel {
-		rs.stats.FinalLevel = rs.level
+func (s *Simulator) noteLevel(rs *rankState, gi, level int) {
+	lvl := uint32(level)
+	if level > rs.stats.FinalLevel {
+		rs.stats.FinalLevel = level
 	}
 	for {
 		cur := atomic.LoadUint32(&s.gateLevel[gi])
@@ -280,6 +341,62 @@ func (s *Simulator) noteLevel(rs *rankState, gi int) {
 			return
 		}
 	}
+}
+
+// forBlocks fans fn out over the rank's block indices on the worker
+// pool. fn receives a worker whose scratch buffers it owns exclusively;
+// shared rank state may only be touched through updateBlock and the
+// (mutex-guarded) block cache. Block assignment is dynamic (an atomic
+// counter), which is safe because no fan-out path depends on iteration
+// order: per-block results are bit-identical for every worker count.
+// After the fan-out the worker stats shards are merged into rs.stats.
+func (s *Simulator) forBlocks(rs *rankState, fn func(w *workerState, b int) error) error {
+	nb := s.blocksPerRank()
+	nw := len(rs.workers)
+	if nw > nb {
+		nw = nb
+	}
+	var firstErr error
+	if nw <= 1 {
+		w := rs.w0()
+		for b := 0; b < nb; b++ {
+			if firstErr = fn(w, b); firstErr != nil {
+				break
+			}
+		}
+	} else {
+		var (
+			next int64 = -1
+			fail int32
+			once sync.Once
+			wg   sync.WaitGroup
+		)
+		for i := 0; i < nw; i++ {
+			w := rs.workers[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w.ensure(2 * s.blockAmps())
+				for atomic.LoadInt32(&fail) == 0 {
+					b := atomic.AddInt64(&next, 1)
+					if b >= int64(nb) {
+						return
+					}
+					if err := fn(w, int(b)); err != nil {
+						once.Do(func() { firstErr = err })
+						atomic.StoreInt32(&fail, 1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, w := range rs.workers {
+		rs.stats.addShard(w.stats)
+		w.stats = Stats{}
+	}
+	return firstErr
 }
 
 // Run executes the circuit on the current state. It may be called
@@ -368,32 +485,33 @@ func (s *Simulator) applyGateRank(comm *mpi.Comm, rs *rankState, g quantum.Gate,
 }
 
 // applyLocal handles targets inside the offset segment: both amplitudes
-// of every pair live in the same block.
+// of every pair live in the same block, so the block loop fans out
+// across the worker pool with no cross-worker data dependencies.
 func (s *Simulator) applyLocal(rs *rankState, g quantum.Gate, gi int, offCtrl uint64, blkCtrl int) error {
 	tMask := 1 << uint(g.Target)
-	nb := s.blocksPerRank()
-	for b := 0; b < nb; b++ {
+	lvl := rs.level
+	sig := g.Signature()
+	ba := s.blockAmps()
+	err := s.forBlocks(rs, func(w *workerState, b int) error {
 		if b&blkCtrl != blkCtrl {
-			continue // §3.3: whole block unmodified
+			return nil // §3.3: whole block unmodified
 		}
 		key := ""
-		if rs.cache != nil {
-			key = cacheKey(g.Signature(), rs.level, rs.blocks[b], nil)
+		if rs.cache.enabled() {
+			key = cacheKey(sig, lvl, rs.blocks[b], nil)
 			if out1, _, ok := rs.cache.get(key); ok {
-				rs.stats.CacheHits++
-				rs.stats.CacheLookups++
+				w.stats.CacheHits++
+				w.stats.CacheLookups++
 				s.updateBlock(rs, b, append([]byte(nil), out1...))
-				s.noteLevel(rs, gi)
-				continue
+				return nil
 			}
-			rs.stats.CacheLookups++
+			w.stats.CacheLookups++
 		}
-		if err := s.decompressBlock(rs, rs.blocks[b], rs.scratchX); err != nil {
+		if err := s.decompressBlock(rs.blocks[b], w.x, &w.stats); err != nil {
 			return err
 		}
 		start := time.Now()
-		x := rs.scratchX
-		ba := s.blockAmps()
+		x := w.x
 		for base := 0; base < ba; base += tMask << 1 {
 			for o := base; o < base+tMask; o++ {
 				if uint64(o)&offCtrl != offCtrl {
@@ -402,94 +520,111 @@ func (s *Simulator) applyLocal(rs *rankState, g quantum.Gate, gi int, offCtrl ui
 				applyPair(g.U, x, o, o|tMask)
 			}
 		}
-		rs.stats.ComputeTime += time.Since(start)
-		blob, err := s.compressBlock(rs, rs.scratchX)
+		w.stats.ComputeTime += time.Since(start)
+		blob, err := s.compressBlock(lvl, w.x, &w.stats)
 		if err != nil {
 			return err
 		}
 		s.updateBlock(rs, b, blob)
-		s.noteLevel(rs, gi)
-		if rs.cache != nil {
+		if key != "" {
 			rs.cache.put(key, blob, nil)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	s.noteLevel(rs, gi, lvl)
+	s.maybeEscalate(rs)
 	return nil
 }
 
 // applyCrossBlock handles targets in the block segment: the pair spans
-// two blocks of the same rank (at most two decompressed at once, §3.1).
+// two blocks of the same rank. Each worker decompresses one block pair
+// at a time (the paper's two-block working set, §3.1, now per worker),
+// and pairs never overlap, so the pair loop fans out safely.
 func (s *Simulator) applyCrossBlock(rs *rankState, g quantum.Gate, gi int, offCtrl uint64, blkCtrl int) error {
 	tb := 1 << uint(g.Target-s.offsetBits)
-	nb := s.blocksPerRank()
-	for b := 0; b < nb; b++ {
+	lvl := rs.level
+	sig := g.Signature()
+	ba := s.blockAmps()
+	err := s.forBlocks(rs, func(w *workerState, b int) error {
 		if b&tb != 0 || b&blkCtrl != blkCtrl {
-			continue
+			return nil
 		}
 		pb := b | tb
 		key := ""
-		if rs.cache != nil {
-			key = cacheKey(g.Signature(), rs.level, rs.blocks[b], rs.blocks[pb])
+		if rs.cache.enabled() {
+			key = cacheKey(sig, lvl, rs.blocks[b], rs.blocks[pb])
 			if out1, out2, ok := rs.cache.get(key); ok {
-				rs.stats.CacheHits++
-				rs.stats.CacheLookups++
+				w.stats.CacheHits++
+				w.stats.CacheLookups++
 				s.updateBlock(rs, b, append([]byte(nil), out1...))
 				s.updateBlock(rs, pb, append([]byte(nil), out2...))
-				s.noteLevel(rs, gi)
-				continue
+				return nil
 			}
-			rs.stats.CacheLookups++
+			w.stats.CacheLookups++
 		}
-		if err := s.decompressBlock(rs, rs.blocks[b], rs.scratchX); err != nil {
+		if err := s.decompressBlock(rs.blocks[b], w.x, &w.stats); err != nil {
 			return err
 		}
-		if err := s.decompressBlock(rs, rs.blocks[pb], rs.scratchY); err != nil {
+		if err := s.decompressBlock(rs.blocks[pb], w.y, &w.stats); err != nil {
 			return err
 		}
 		start := time.Now()
-		x, y := rs.scratchX, rs.scratchY
-		ba := s.blockAmps()
+		x, y := w.x, w.y
 		for o := 0; o < ba; o++ {
 			if uint64(o)&offCtrl != offCtrl {
 				continue
 			}
 			applyPairSplit(g.U, x, y, o)
 		}
-		rs.stats.ComputeTime += time.Since(start)
-		blobX, err := s.compressBlock(rs, rs.scratchX)
+		w.stats.ComputeTime += time.Since(start)
+		blobX, err := s.compressBlock(lvl, w.x, &w.stats)
 		if err != nil {
 			return err
 		}
 		s.updateBlock(rs, b, blobX)
-		blobY, err := s.compressBlock(rs, rs.scratchY)
+		blobY, err := s.compressBlock(lvl, w.y, &w.stats)
 		if err != nil {
 			return err
 		}
 		s.updateBlock(rs, pb, blobY)
-		s.noteLevel(rs, gi)
-		if rs.cache != nil {
+		if key != "" {
 			rs.cache.put(key, blobX, blobY)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	s.noteLevel(rs, gi, lvl)
+	s.maybeEscalate(rs)
 	return nil
 }
 
 // applyCrossRank handles targets in the rank segment: block pairs span
-// two ranks and are exchanged (§3.3 third case).
+// two ranks and are exchanged (§3.3 third case). The loop stays
+// sequential — the pairwise SendRecv protocol requires both ranks to
+// walk their blocks in the same order, and the exchange, not the
+// compute, dominates here.
 func (s *Simulator) applyCrossRank(comm *mpi.Comm, rs *rankState, g quantum.Gate, gi int, offCtrl uint64, blkCtrl int) error {
 	tr := 1 << uint(g.Target-s.offsetBits-s.blockBits)
 	peer := rs.id ^ tr
 	lowSide := rs.id&tr == 0 // this rank holds the target-bit-0 half
+	lvl := rs.level
 	nb := s.blocksPerRank()
+	w := rs.w0()
 	for b := 0; b < nb; b++ {
 		if b&blkCtrl != blkCtrl {
 			continue
 		}
-		if err := s.decompressBlock(rs, rs.blocks[b], rs.scratchX); err != nil {
+		if err := s.decompressBlock(rs.blocks[b], w.x, &rs.stats); err != nil {
 			return err
 		}
-		comm.SendRecv(peer, rs.scratchX, rs.scratchY)
+		comm.SendRecv(peer, w.x, w.y)
 		start := time.Now()
-		x, y := rs.scratchX, rs.scratchY
+		x, y := w.x, w.y
 		ba := s.blockAmps()
 		u := g.U
 		for o := 0; o < ba; o++ {
@@ -510,13 +645,14 @@ func (s *Simulator) applyCrossRank(comm *mpi.Comm, rs *rankState, g quantum.Gate
 			}
 		}
 		rs.stats.ComputeTime += time.Since(start)
-		blob, err := s.compressBlock(rs, rs.scratchX)
+		blob, err := s.compressBlock(lvl, w.x, &rs.stats)
 		if err != nil {
 			return err
 		}
 		s.updateBlock(rs, b, blob)
-		s.noteLevel(rs, gi)
 	}
+	s.noteLevel(rs, gi, lvl)
+	s.maybeEscalate(rs)
 	return nil
 }
 

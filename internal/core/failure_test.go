@@ -50,9 +50,12 @@ func TestCorruptedBlockFailsInspection(t *testing.T) {
 func TestCheckpointCodecMismatch(t *testing.T) {
 	// A checkpoint written with one lossy codec cannot silently load
 	// into a simulator configured with another: block magics differ.
+	// A 1-byte budget escalates at the first gate boundary, so the
+	// state is guaranteed to hold lossy (xortrunc-tagged) blocks by the
+	// end of the run — no geometry or codec tuning can skip this path.
 	mkA := func() *Simulator {
 		s, err := New(Config{Qubits: 6, Ranks: 1, BlockAmps: 8, Seed: 1,
-			Lossy: xortrunc.New(), MemoryBudget: 64})
+			Lossy: xortrunc.New(), MemoryBudget: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +66,7 @@ func TestCheckpointCodecMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	if a.Stats().FinalLevel == 0 {
-		t.Skip("budget did not force lossy blocks; mismatch not exercised")
+		t.Fatal("1-byte budget failed to force lossy blocks; mismatch path not exercised")
 	}
 	var buf bytes.Buffer
 	if err := a.Save(&buf); err != nil {

@@ -11,7 +11,10 @@ import (
 // paper highlights over tensor-network simulators, §1): every rank
 // accumulates its partial P(q=1) over decompressed blocks, the total is
 // allreduced, rank 0 draws the outcome, and all ranks collapse and
-// recompress their blocks.
+// recompress their blocks. Both block sweeps fan out across the worker
+// pool; the probability reduction keeps per-block partials and sums
+// them in block order, so the drawn outcome is bit-identical for every
+// worker count.
 func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) int {
 	qInOffset := q < s.offsetBits
 	qInBlock := !qInOffset && q < s.offsetBits+s.blockBits
@@ -25,27 +28,39 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) int {
 	default:
 		rankMask = 1 << uint(q-s.offsetBits-s.blockBits)
 	}
+	lvl := rs.level
+	ba := s.blockAmps()
 
-	// Phase 1: partial probability of reading |1⟩.
-	var p1 float64
+	// Phase 1: partial probability of reading |1⟩, one slot per block.
+	partials := make([]float64, s.blocksPerRank())
 	if rankMask == 0 || rs.id&rankMask != 0 {
-		for b := range rs.blocks {
+		err := s.forBlocks(rs, func(w *workerState, b int) error {
 			if blkMask != 0 && b&blkMask == 0 {
-				continue // whole block has q=0
+				return nil // whole block has q=0
 			}
-			if err := s.decompressBlock(rs, rs.blocks[b], rs.scratchX); err != nil {
-				panic(err)
+			if err := s.decompressBlock(rs.blocks[b], w.x, &w.stats); err != nil {
+				return err
 			}
 			start := time.Now()
-			for o := 0; o < s.blockAmps(); o++ {
+			var p float64
+			for o := 0; o < ba; o++ {
 				if offMask != 0 && uint64(o)&offMask == 0 {
 					continue
 				}
-				re, im := rs.scratchX[2*o], rs.scratchX[2*o+1]
-				p1 += re*re + im*im
+				re, im := w.x[2*o], w.x[2*o+1]
+				p += re*re + im*im
 			}
-			rs.stats.ComputeTime += time.Since(start)
+			partials[b] = p
+			w.stats.ComputeTime += time.Since(start)
+			return nil
+		})
+		if err != nil {
+			panic(err)
 		}
+	}
+	var p1 float64
+	for _, p := range partials {
+		p1 += p
 	}
 	total := comm.AllreduceSum(p1)
 	if total < 0 {
@@ -76,7 +91,7 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) int {
 	scale := 1 / math.Sqrt(keep)
 
 	// Phase 3: collapse and renormalize every block.
-	for b := range rs.blocks {
+	err := s.forBlocks(rs, func(w *workerState, b int) error {
 		matchBlock := true
 		if blkMask != 0 {
 			bit := 0
@@ -93,11 +108,11 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) int {
 			}
 			matchRank = bit == outcome
 		}
-		if err := s.decompressBlock(rs, rs.blocks[b], rs.scratchX); err != nil {
-			panic(err)
+		if err := s.decompressBlock(rs.blocks[b], w.x, &w.stats); err != nil {
+			return err
 		}
 		start := time.Now()
-		for o := 0; o < s.blockAmps(); o++ {
+		for o := 0; o < ba; o++ {
 			match := matchBlock && matchRank
 			if match && offMask != 0 {
 				bit := 0
@@ -107,21 +122,26 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) int {
 				match = bit == outcome
 			}
 			if match {
-				rs.scratchX[2*o] *= scale
-				rs.scratchX[2*o+1] *= scale
+				w.x[2*o] *= scale
+				w.x[2*o+1] *= scale
 			} else {
-				rs.scratchX[2*o] = 0
-				rs.scratchX[2*o+1] = 0
+				w.x[2*o] = 0
+				w.x[2*o+1] = 0
 			}
 		}
-		rs.stats.ComputeTime += time.Since(start)
-		blob, err := s.compressBlock(rs, rs.scratchX)
+		w.stats.ComputeTime += time.Since(start)
+		blob, err := s.compressBlock(lvl, w.x, &w.stats)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		s.updateBlock(rs, b, blob)
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
-	s.noteLevel(rs, gi)
+	s.noteLevel(rs, gi, lvl)
+	s.maybeEscalate(rs)
 	return outcome
 }
 

@@ -31,7 +31,10 @@ func (s *Simulator) SetNoise(m *NoiseModel) error {
 // applyNoiseRank draws from the rank's noise stream — identical on every
 // rank — and applies the chosen Pauli as a regular gate. All ranks draw
 // the same number of variates per gate whether or not the Pauli fires,
-// keeping the streams aligned.
+// keeping the streams aligned. The draws happen here, before any block
+// fan-out, and the Pauli application goes through the same worker-pool
+// gate path as ordinary gates — no randomness is ever consumed inside a
+// worker, which is what keeps the trajectory independent of Workers.
 func (s *Simulator) applyNoiseRank(comm *mpi.Comm, rs *rankState, g quantum.Gate, gi int) {
 	u := rs.rng.Float64()
 	pick := rs.rng.Intn(3)

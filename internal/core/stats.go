@@ -58,6 +58,18 @@ func (s Stats) Add(o Stats) Stats {
 	return s
 }
 
+// addShard folds one worker's stats shard into the rank totals after a
+// fan-out: only the counters workers accumulate privately (time spent
+// and cache traffic) — footprint, levels, and gate counts are tracked
+// on the rank itself.
+func (s *Stats) addShard(o Stats) {
+	s.CompressTime += o.CompressTime
+	s.DecompressTime += o.DecompressTime
+	s.ComputeTime += o.ComputeTime
+	s.CacheLookups += o.CacheLookups
+	s.CacheHits += o.CacheHits
+}
+
 // MinCompressionRatio returns uncompressed-state-bytes / peak-footprint,
 // the last row of Table 2. stateBytes is the full uncompressed size the
 // stats cover.

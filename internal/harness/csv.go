@@ -68,6 +68,23 @@ func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
 	return cw.Error()
 }
 
+// WriteScalingCSV writes one scaling sweep (rank or worker) as
+// x,elapsed_seconds,relative rows, where relative is the sweep's own
+// normalization (normalized time for Figs. 5/15, speedup for 16/16b).
+func WriteScalingCSV(w io.Writer, xName, relName string, xs []int, elapsed []float64, rel []float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{xName, "elapsed_seconds", relName}); err != nil {
+		return err
+	}
+	for i := range xs {
+		if err := cw.Write([]string{strconv.Itoa(xs[i]), fmtF(elapsed[i]), fmtF(rel[i])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // ExportCSV runs the data-producing experiments and writes one CSV per
 // figure into dir.
 func ExportCSV(dir string, opt Options) error {
@@ -118,6 +135,36 @@ func ExportCSV(dir string, opt Options) error {
 		return err
 	}
 	if err := write("table2.csv", func(w io.Writer) error { return WriteTable2CSV(w, t2) }); err != nil {
+		return err
+	}
+	fig16, err := Fig16Results(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("fig16_strong_scaling.csv", func(w io.Writer) error {
+		xs := make([]int, len(fig16))
+		el := make([]float64, len(fig16))
+		rel := make([]float64, len(fig16))
+		for i, r := range fig16 {
+			xs[i], el[i], rel[i] = r.Ranks, r.Elapsed.Seconds(), r.Speedup
+		}
+		return WriteScalingCSV(w, "ranks", "speedup", xs, el, rel)
+	}); err != nil {
+		return err
+	}
+	fig16w, err := WorkerScalingResults(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("fig16w_worker_scaling.csv", func(w io.Writer) error {
+		xs := make([]int, len(fig16w))
+		el := make([]float64, len(fig16w))
+		rel := make([]float64, len(fig16w))
+		for i, r := range fig16w {
+			xs[i], el[i], rel[i] = r.Workers, r.Elapsed.Seconds(), r.Speedup
+		}
+		return WriteScalingCSV(w, "workers", "speedup", xs, el, rel)
+	}); err != nil {
 		return err
 	}
 	// Fig. 6 is closed-form; export the curves too.

@@ -42,6 +42,13 @@ type Options struct {
 	Table2Ranks int
 	// BlockAmps for simulator runs.
 	BlockAmps int
+	// Workers is the per-rank worker-pool width simulator runs use
+	// (0 = the core default, runtime.NumCPU()/Ranks).
+	Workers int
+	// MaxWorkers is the largest pool width in the worker-scaling sweep
+	// (the intra-rank analog of Fig. 16; the paper runs 64 OpenMP
+	// threads per MPI rank).
+	MaxWorkers int
 }
 
 // Default returns the committed experiment scale.
@@ -61,6 +68,7 @@ func Default() Options {
 		SupremacyDepth: 11,
 		Table2Ranks:    4,
 		BlockAmps:      1024,
+		MaxWorkers:     8,
 	}
 }
 
@@ -81,6 +89,7 @@ func Small() Options {
 		SupremacyDepth: 8,
 		Table2Ranks:    2,
 		BlockAmps:      128,
+		MaxWorkers:     4,
 	}
 }
 
@@ -107,6 +116,7 @@ func Experiments() []Experiment {
 		{"fig14", "Fig. 14: normalized error distribution and autocorrelation (Solution C)", runFig14},
 		{"fig15", "Fig. 15: single-node execution time vs qubit count", runFig15},
 		{"fig16", "Fig. 16: strong scaling of a Hadamard layer", runFig16},
+		{"fig16w", "Fig. 16b: intra-rank worker-pool scaling (paper: OpenMP threads per rank)", runFig16Workers},
 		{"table2", "Table 2: full benchmark results with time breakdown", runTable2},
 	}
 }

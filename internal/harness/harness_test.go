@@ -234,6 +234,29 @@ func TestFig15Shape_TimeGrowsWithQubits(t *testing.T) {
 	}
 }
 
+func TestWorkerScalingShape(t *testing.T) {
+	opt := Small()
+	rs, err := WorkerScalingResults(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for w := 1; w <= opt.MaxWorkers; w *= 2 {
+		want++
+	}
+	if len(rs) != want {
+		t.Fatalf("got %d points, want %d", len(rs), want)
+	}
+	for i, r := range rs {
+		if r.Workers != 1<<uint(i) {
+			t.Fatalf("point %d has workers=%d", i, r.Workers)
+		}
+		if r.Elapsed <= 0 || r.Speedup <= 0 {
+			t.Fatalf("point %d not measured: %+v", i, r)
+		}
+	}
+}
+
 func TestTable2Shapes(t *testing.T) {
 	opt := Small()
 	rows, err := Table2Results(opt)
@@ -301,7 +324,7 @@ func TestExportCSV(t *testing.T) {
 	if err := ExportCSV(dir, Small()); err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range []string{"fig7_abs_ratio.csv", "fig8_rel_ratio.csv", "fig10_solutions_ratio.csv", "fig11_rates.csv", "table2.csv", "fig6_fidelity_bounds.csv"} {
+	for _, f := range []string{"fig7_abs_ratio.csv", "fig8_rel_ratio.csv", "fig10_solutions_ratio.csv", "fig11_rates.csv", "table2.csv", "fig6_fidelity_bounds.csv", "fig16_strong_scaling.csv", "fig16w_worker_scaling.csv"} {
 		data, err := os.ReadFile(filepath.Join(dir, f))
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)

@@ -57,6 +57,17 @@ type Fig5Config struct {
 	Elapsed    time.Duration
 }
 
+// rankSweepWorkers pins the pool width for experiments that sweep rank
+// counts: the core default (NumCPU/Ranks) would hold total parallelism
+// constant across the sweep and flatten the curve the figure exists to
+// show, so an unset Workers means one worker per rank here.
+func rankSweepWorkers(opt Options) int {
+	if opt.Workers == 0 {
+		return 1
+	}
+	return opt.Workers
+}
+
 // Fig5Results sweeps rank counts for a fixed random-circuit workload.
 // The paper varies ranks×threads per node at fixed hardware; our analog
 // varies rank counts at a fixed goroutine budget.
@@ -68,7 +79,7 @@ func Fig5Results(opt Options) ([]Fig5Config, error) {
 		maxRanks = 1 << uint(opt.Fig5Qubits-3)
 	}
 	for ranks := 1; ranks <= maxRanks; ranks *= 2 {
-		s, err := core.New(core.Config{Qubits: opt.Fig5Qubits, Ranks: ranks, BlockAmps: opt.BlockAmps, Seed: 1})
+		s, err := core.New(core.Config{Qubits: opt.Fig5Qubits, Ranks: ranks, BlockAmps: opt.BlockAmps, Workers: rankSweepWorkers(opt), Seed: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +148,7 @@ type Fig15Point struct {
 func Fig15Results(opt Options) ([]Fig15Point, error) {
 	var out []Fig15Point
 	for n := opt.Fig15MinQubits; n <= opt.Fig15MaxQubits; n++ {
-		s, err := core.New(core.Config{Qubits: n, Ranks: 1, BlockAmps: opt.BlockAmps, Seed: 1})
+		s, err := core.New(core.Config{Qubits: n, Ranks: 1, BlockAmps: opt.BlockAmps, Workers: opt.Workers, Seed: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -181,7 +192,7 @@ func Fig16Results(opt Options) ([]Fig16Point, error) {
 	cir := quantum.HadamardAll(opt.Fig16Qubits)
 	var out []Fig16Point
 	for ranks := 1; ranks <= opt.Fig16MaxRanks; ranks *= 2 {
-		s, err := core.New(core.Config{Qubits: opt.Fig16Qubits, Ranks: ranks, BlockAmps: opt.BlockAmps, Seed: 1})
+		s, err := core.New(core.Config{Qubits: opt.Fig16Qubits, Ranks: ranks, BlockAmps: opt.BlockAmps, Workers: rankSweepWorkers(opt), Seed: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -208,6 +219,58 @@ func runFig16(w io.Writer, opt Options) error {
 	fmt.Fprintln(tw, "ranks\telapsed\tspeedup vs 1 rank\tideal")
 	for i, r := range rs {
 		fmt.Fprintf(tw, "%d\t%v\t%.2f\t%d\n", r.Ranks, r.Elapsed.Round(time.Millisecond), r.Speedup, 1<<uint(i))
+	}
+	return tw.Flush()
+}
+
+// WorkerScalingPoint is one pool-width measurement of the intra-rank
+// scaling run — the in-process analog of the paper's 64 OpenMP threads
+// per MPI rank.
+type WorkerScalingPoint struct {
+	Workers int
+	Elapsed time.Duration
+	Speedup float64
+}
+
+// WorkerScalingResults measures the same fixed workload as Fig. 16 at
+// one rank while widening the worker pool over the block loop. The
+// final states are bit-identical across the sweep (the pool's
+// determinism contract), so every point does the same arithmetic.
+func WorkerScalingResults(opt Options) ([]WorkerScalingPoint, error) {
+	cir := quantum.HadamardAll(opt.Fig16Qubits)
+	maxW := opt.MaxWorkers
+	if maxW < 1 {
+		maxW = 1
+	}
+	var out []WorkerScalingPoint
+	for workers := 1; workers <= maxW; workers *= 2 {
+		s, err := core.New(core.Config{Qubits: opt.Fig16Qubits, Ranks: 1, BlockAmps: opt.BlockAmps, Workers: workers, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := s.Run(cir); err != nil {
+			return nil, err
+		}
+		out = append(out, WorkerScalingPoint{Workers: workers, Elapsed: time.Since(start)})
+	}
+	base := out[0].Elapsed.Seconds()
+	for i := range out {
+		out[i].Speedup = base / out[i].Elapsed.Seconds()
+	}
+	return out, nil
+}
+
+func runFig16Workers(w io.Writer, opt Options) error {
+	header(w, fmt.Sprintf("Fig. 16b: intra-rank worker scaling, %d-qubit Hadamard layer, 1 rank", opt.Fig16Qubits))
+	rs, err := WorkerScalingResults(opt)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "workers\telapsed\tspeedup vs 1 worker\tideal")
+	for i, r := range rs {
+		fmt.Fprintf(tw, "%d\t%v\t%.2f\t%d\n", r.Workers, r.Elapsed.Round(time.Millisecond), r.Speedup, 1<<uint(i))
 	}
 	return tw.Flush()
 }

@@ -97,6 +97,7 @@ func runTable2Benchmark(name string, cir *quantum.Circuit, budgetFrac float64, o
 		BlockAmps:    opt.BlockAmps,
 		MemoryBudget: perRank,
 		CacheLines:   64,
+		Workers:      opt.Workers,
 		Seed:         7,
 	})
 	if err != nil {
