@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"os"
 
-	"qcsim/internal/harness"
+	"qcsim/bench"
 )
 
 func main() {
@@ -23,37 +23,37 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range harness.Experiments() {
+		for _, e := range bench.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
 	}
-	opt := harness.Default()
+	opt := bench.Default()
 	if *small {
-		opt = harness.Small()
+		opt = bench.Small()
 	}
 	opt.Workers = *workers
 	if *csvDir != "" {
-		if err := harness.ExportCSV(*csvDir, opt); err != nil {
+		if err := bench.ExportCSV(*csvDir, opt); err != nil {
 			fmt.Fprintf(os.Stderr, "qcbench: csv export: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("CSV data written to %s\n", *csvDir)
 		return
 	}
-	run := func(e harness.Experiment) {
+	run := func(e bench.Experiment) {
 		if err := e.Run(os.Stdout, opt); err != nil {
 			fmt.Fprintf(os.Stderr, "qcbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 	}
 	if *exp == "all" {
-		for _, e := range harness.Experiments() {
+		for _, e := range bench.Experiments() {
 			run(e)
 		}
 		return
 	}
-	e, ok := harness.Lookup(*exp)
+	e, ok := bench.Lookup(*exp)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "qcbench: unknown experiment %q (try -list)\n", *exp)
 		os.Exit(2)

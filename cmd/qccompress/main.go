@@ -1,6 +1,8 @@
-// Command qccompress runs any of the repository's compressors over a
-// raw little-endian float64 file — the workflow used to evaluate
-// compressors on state-vector snapshots (paper §4).
+// Command qccompress runs any registered compressor over a raw
+// little-endian float64 file — the workflow used to evaluate
+// compressors on state-vector snapshots (paper §4). Codecs are selected
+// by name through the public qcsim registry, so codecs added with
+// qcsim.RegisterCodec show up here too.
 //
 //	qccompress -codec solution-c -bound 1e-3 state.f64        # report ratio/rates/errors
 //	qccompress -codec sz-a -mode abs -bound 1e-4 state.f64
@@ -15,9 +17,7 @@ import (
 	"os"
 	"time"
 
-	"qcsim/internal/compress"
-	"qcsim/internal/compress/registry"
-	"qcsim/internal/stats"
+	"qcsim"
 )
 
 func main() {
@@ -30,7 +30,7 @@ func main() {
 	)
 	flag.Parse()
 	if *list {
-		for _, n := range registry.Names() {
+		for _, n := range qcsim.Codecs() {
 			fmt.Println(n)
 		}
 		return
@@ -50,18 +50,18 @@ func main() {
 		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
 	}
 
-	codec, err := registry.New(*codecName)
+	codec, err := qcsim.NewCodec(*codecName)
 	if err != nil {
 		fail(err)
 	}
-	opt := compress.Options{Bound: *bound}
+	opt := qcsim.CodecOptions{Bound: *bound}
 	switch *mode {
 	case "pwr":
-		opt.Mode = compress.PointwiseRelative
+		opt.Mode = qcsim.CodecPointwiseRelative
 	case "abs":
-		opt.Mode = compress.Absolute
+		opt.Mode = qcsim.CodecAbsolute
 	case "lossless":
-		opt.Mode = compress.Lossless
+		opt.Mode = qcsim.CodecLossless
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
@@ -93,8 +93,8 @@ func main() {
 	}
 	mb := float64(len(data)*8) / (1 << 20)
 	fmt.Printf("codec          %s (mode %s, bound %g)\n", codec.Name(), opt.Mode, opt.Bound)
-	fmt.Printf("input          %d values (%s)\n", len(data), stats.FormatBytes(float64(len(raw))))
-	fmt.Printf("compressed     %s  (ratio %.2f:1)\n", stats.FormatBytes(float64(len(payload))), compress.Ratio(len(data), len(payload)))
+	fmt.Printf("input          %d values (%s)\n", len(data), qcsim.FormatBytes(float64(len(raw))))
+	fmt.Printf("compressed     %s  (ratio %.2f:1)\n", qcsim.FormatBytes(float64(len(payload))), qcsim.CodecRatio(len(data), len(payload)))
 	fmt.Printf("compress       %v  (%.1f MB/s)\n", ct.Round(time.Microsecond), mb/ct.Seconds())
 	fmt.Printf("decompress     %v  (%.1f MB/s)\n", dt.Round(time.Microsecond), mb/dt.Seconds())
 	fmt.Printf("max abs error  %.3e\n", maxAbs)

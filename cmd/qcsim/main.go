@@ -1,7 +1,8 @@
 // Command qcsim runs a benchmark circuit on the compressed-state
 // simulator and reports the paper's Table 2 metrics for that run: time
 // breakdown, compression ratio, fidelity lower bound, and (optionally)
-// measurement samples.
+// measurement samples. Ctrl-C cancels the run at the next gate boundary
+// and still prints the metrics of the completed prefix.
 //
 //	qcsim -circuit grover -qubits 13 -budget-frac 0.1
 //	qcsim -circuit qft -qubits 16 -ranks 4 -checkpoint state.ckp
@@ -9,53 +10,57 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"time"
 
-	"qcsim/internal/core"
-	"qcsim/internal/quantum"
-	"qcsim/internal/stats"
+	"qcsim"
+	"qcsim/circuit"
 )
 
 func main() {
 	var (
-		circuit    = flag.String("circuit", "ghz", "grover|supremacy|qaoa|qft|random|ghz|hadamard")
-		file       = flag.String("file", "", "load the circuit from a .qc text file instead of -circuit")
-		dump       = flag.String("dump", "", "write the built circuit to this .qc file and exit")
-		qubits     = flag.Int("qubits", 12, "total qubits (grover: must be 2s-3 for search width s)")
-		depth      = flag.Int("depth", 11, "cycles (supremacy) or gate count (random)")
-		rounds     = flag.Int("rounds", 2, "QAOA rounds / Grover iterations")
-		ranks      = flag.Int("ranks", 1, "SPMD ranks (power of two)")
-		workers    = flag.Int("workers", 0, "worker goroutines per rank over the block loop (0 = NumCPU/ranks)")
-		blockAmps  = flag.Int("block", 4096, "amplitudes per block (power of two)")
-		budgetFrac = flag.Float64("budget-frac", 0, "per-run memory budget as a fraction of 2^(n+4) bytes (0 = unlimited)")
-		cache      = flag.Int("cache", 64, "compressed block cache lines (0 = off)")
-		seed       = flag.Int64("seed", 1, "randomness seed")
-		shots      = flag.Int("shots", 0, "sample this many outcomes at the end")
-		checkpoint = flag.String("checkpoint", "", "write a checkpoint file after the run")
-		resume     = flag.String("resume", "", "load a checkpoint file before the run")
-		uncomp     = flag.Bool("uncompressed", false, "run the uncompressed baseline")
-		noise      = flag.Float64("noise", 0, "per-gate depolarizing probability")
+		circuitKind = flag.String("circuit", "ghz", "grover|supremacy|qaoa|qft|random|ghz|hadamard")
+		file        = flag.String("file", "", "load the circuit from a .qc text file instead of -circuit")
+		dump        = flag.String("dump", "", "write the built circuit to this .qc file and exit")
+		qubits      = flag.Int("qubits", 12, "total qubits (grover: must be 2s-3 for search width s)")
+		depth       = flag.Int("depth", 11, "cycles (supremacy) or gate count (random)")
+		rounds      = flag.Int("rounds", 2, "QAOA rounds / Grover iterations")
+		ranks       = flag.Int("ranks", 1, "SPMD ranks (power of two)")
+		workers     = flag.Int("workers", 0, "worker goroutines per rank over the block loop (0 = NumCPU/ranks)")
+		blockAmps   = flag.Int("block", 4096, "amplitudes per block (power of two)")
+		budgetFrac  = flag.Float64("budget-frac", 0, "per-run memory budget as a fraction of 2^(n+4) bytes (0 = unlimited)")
+		cache       = flag.Int("cache", 64, "compressed block cache lines (0 = off)")
+		codec       = flag.String("codec", "", "lossy codec name or alias (default: the paper's Solution C; see qccompress -list)")
+		seed        = flag.Int64("seed", 1, "randomness seed")
+		shots       = flag.Int("shots", 0, "sample this many outcomes at the end")
+		checkpoint  = flag.String("checkpoint", "", "write a checkpoint file after the run")
+		resume      = flag.String("resume", "", "load a checkpoint file before the run")
+		uncomp      = flag.Bool("uncompressed", false, "run the uncompressed baseline")
+		noise       = flag.Float64("noise", 0, "per-gate depolarizing probability")
+		fuse        = flag.Bool("fuse", false, "fuse adjacent single-qubit gates before execution")
 	)
 	flag.Parse()
 
-	var cir *quantum.Circuit
+	var cir *circuit.Circuit
 	var err error
 	if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
 			fail(err)
 		}
-		cir, err = quantum.Parse(f)
+		cir, err = circuit.Parse(f)
 		f.Close()
 		if err != nil {
 			fail(err)
 		}
 	} else {
-		cir, err = buildCircuit(*circuit, *qubits, *depth, *rounds, *seed)
+		cir, err = buildCircuit(*circuitKind, *qubits, *depth, *rounds, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -65,7 +70,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if err := quantum.Serialize(f, cir); err != nil {
+		if err := circuit.Serialize(f, cir); err != nil {
 			fail(err)
 		}
 		if err := f.Close(); err != nil {
@@ -74,28 +79,33 @@ func main() {
 		fmt.Printf("wrote %d-qubit, %d-gate circuit to %s\n", cir.N, len(cir.Gates), *dump)
 		return
 	}
-	req := core.MemoryRequirement(cir.N)
+	// Fuse here rather than via WithGateFusion so every gate count the
+	// CLI prints (total, completed-on-interrupt, ms/gate) lives in the
+	// same post-fusion domain.
+	if *fuse {
+		cir = circuit.FuseSingleQubitGates(cir)
+	}
+	req := qcsim.MemoryRequirement(cir.N)
 	var perRank int64
 	if *budgetFrac > 0 {
 		perRank = int64(req * *budgetFrac / float64(*ranks))
 	}
-	sim, err := core.New(core.Config{
-		Qubits:       cir.N,
-		Ranks:        *ranks,
-		Workers:      *workers,
-		BlockAmps:    *blockAmps,
-		MemoryBudget: perRank,
-		CacheLines:   *cache,
-		Uncompressed: *uncomp,
-		Seed:         *seed,
-	})
+	opts := []qcsim.Option{
+		qcsim.WithRanks(*ranks),
+		qcsim.WithWorkers(*workers),
+		qcsim.WithBlockAmps(*blockAmps),
+		qcsim.WithMemoryBudget(perRank),
+		qcsim.WithCache(*cache),
+		qcsim.WithUncompressed(*uncomp),
+		qcsim.WithNoise(*noise),
+		qcsim.WithSeed(*seed),
+	}
+	if *codec != "" {
+		opts = append(opts, qcsim.WithCodec(*codec))
+	}
+	sim, err := qcsim.New(cir.N, opts...)
 	if err != nil {
 		fail(err)
-	}
-	if *noise > 0 {
-		if err := sim.SetNoise(&core.NoiseModel{Prob: *noise}); err != nil {
-			fail(err)
-		}
 	}
 	if *resume != "" {
 		f, err := os.Open(*resume)
@@ -109,34 +119,48 @@ func main() {
 		fmt.Printf("resumed from %s (%d gates already executed)\n", *resume, sim.GatesRun())
 	}
 
-	label := *circuit
+	label := *circuitKind
 	if *file != "" {
 		label = *file
 	}
 	fmt.Printf("circuit %s: %d qubits, %d gates; state requires %s uncompressed\n",
-		label, cir.N, len(cir.Gates), stats.FormatBytes(req))
+		label, cir.N, len(cir.Gates), qcsim.FormatBytes(req))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
-	if err := sim.Run(cir); err != nil {
+	res, err := sim.Run(ctx, cir)
+	elapsed := time.Since(start)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		fmt.Printf("interrupted: %d/%d gates completed; metrics cover the prefix\n", res.Gates, len(cir.Gates))
+	case errors.Is(err, qcsim.ErrBudgetExceeded):
+		fmt.Printf("warning: %v\n", err)
+	default:
 		fail(err)
 	}
-	elapsed := time.Since(start)
 
-	st := sim.Stats()
+	st := res.Stats
 	tot := st.TotalTime().Seconds()
 	if tot == 0 {
 		tot = 1
 	}
+	gates := res.Gates
+	if gates == 0 {
+		gates = 1
+	}
 	fmt.Printf("total time          %v  (%.2f ms/gate)\n", elapsed.Round(time.Millisecond),
-		elapsed.Seconds()*1000/float64(len(cir.Gates)))
+		elapsed.Seconds()*1000/float64(gates))
 	fmt.Printf("  compression       %5.1f%%\n", 100*st.CompressTime.Seconds()/tot)
 	fmt.Printf("  decompression     %5.1f%%\n", 100*st.DecompressTime.Seconds()/tot)
 	fmt.Printf("  communication     %5.1f%%\n", 100*st.CommTime.Seconds()/tot)
 	fmt.Printf("  computation       %5.1f%%\n", 100*st.ComputeTime.Seconds()/tot)
 	fmt.Printf("compressed footprint %s (ratio %.2f, min %.2f)\n",
-		stats.FormatBytes(float64(st.CurrentFootprint)), sim.CompressionRatio(),
+		qcsim.FormatBytes(float64(res.Footprint)), res.CompressionRatio,
 		st.MinCompressionRatio(req))
 	fmt.Printf("fidelity lower bound %.6f (error level %d, %d escalations)\n",
-		sim.FidelityLowerBound(), st.FinalLevel, st.Escalations)
+		res.FidelityLowerBound, st.FinalLevel, st.Escalations)
 	if st.CacheLookups > 0 {
 		fmt.Printf("block cache          %d/%d hits\n", st.CacheHits, st.CacheLookups)
 	}
@@ -144,8 +168,7 @@ func main() {
 		fmt.Printf("measurements         %v\n", ms)
 	}
 	if *shots > 0 {
-		rng := rand.New(rand.NewSource(*seed + 1))
-		samples, err := sim.Sample(rng, *shots)
+		samples, err := sim.Sample(*shots)
 		if err != nil {
 			fail(err)
 		}
@@ -179,28 +202,28 @@ func main() {
 	}
 }
 
-func buildCircuit(kind string, qubits, depth, rounds int, seed int64) (*quantum.Circuit, error) {
+func buildCircuit(kind string, qubits, depth, rounds int, seed int64) (*circuit.Circuit, error) {
 	switch kind {
 	case "grover":
-		s, err := quantum.GroverSearchQubits(qubits)
+		s, err := circuit.GroverSearchQubits(qubits)
 		if err != nil {
 			return nil, err
 		}
 		rng := rand.New(rand.NewSource(seed))
-		return quantum.Grover(s, uint64(rng.Int63n(1<<uint(s))), rounds), nil
+		return circuit.Grover(s, uint64(rng.Int63n(1<<uint(s))), rounds), nil
 	case "supremacy":
 		rows, cols := factor(qubits)
-		return quantum.Supremacy(rows, cols, depth, seed), nil
+		return circuit.Supremacy(rows, cols, depth, seed), nil
 	case "qaoa":
-		return quantum.QAOA(qubits, rounds, seed), nil
+		return circuit.QAOA(qubits, rounds, seed), nil
 	case "qft":
-		return quantum.QFT(qubits, seed), nil
+		return circuit.QFT(qubits, seed), nil
 	case "random":
-		return quantum.RandomCircuit(qubits, depth, seed), nil
+		return circuit.RandomCircuit(qubits, depth, seed), nil
 	case "ghz":
-		return quantum.GHZ(qubits), nil
+		return circuit.GHZ(qubits), nil
 	case "hadamard":
-		return quantum.HadamardAll(qubits), nil
+		return circuit.HadamardAll(qubits), nil
 	default:
 		return nil, fmt.Errorf("unknown circuit %q", kind)
 	}

@@ -1,0 +1,149 @@
+package qcsim
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"qcsim/circuit"
+)
+
+// TestCodecRoundTripAndBound drives a built-in codec through the public
+// interface and verifies the pointwise-relative contract.
+func TestCodecRoundTripAndBound(t *testing.T) {
+	codec, err := NewCodec("solution-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec.Name() != "xor-c" {
+		t.Fatalf("alias resolved to %q", codec.Name())
+	}
+	data := make([]float64, 512)
+	for i := range data {
+		data[i] = math.Sin(float64(i)*0.37) / 3
+	}
+	const bound = 1e-3
+	payload, err := codec.Compress(nil, data, CodecOptions{Mode: CodecPointwiseRelative, Bound: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(data))
+	if err := codec.Decompress(out, payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Abs(data[i]-out[i]) > bound*math.Abs(data[i])*(1+1e-12) {
+			t.Fatalf("value %d violates the bound: %v -> %v", i, data[i], out[i])
+		}
+	}
+	if r := CodecRatio(len(data), len(payload)); r <= 1 {
+		t.Fatalf("ratio %.2f, expected compression", r)
+	}
+}
+
+// testRawCodec is a trivial self-describing external codec: raw
+// little-endian float64s (exact, so every bound holds).
+type testRawCodec struct{}
+
+func (testRawCodec) Name() string { return "test-raw" }
+
+func (testRawCodec) Compress(dst []byte, src []float64, _ CodecOptions) ([]byte, error) {
+	var b [8]byte
+	for _, v := range src {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst, nil
+}
+
+func (testRawCodec) Decompress(dst []float64, data []byte) error {
+	if len(data) != len(dst)*8 {
+		return fmt.Errorf("test-raw: payload %d bytes for %d values", len(data), len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return nil
+}
+
+// TestRegisterCodec registers a third-party codec and runs the full
+// engine with it selected by name.
+func TestRegisterCodec(t *testing.T) {
+	if err := RegisterCodec("test-raw", func() Codec { return testRawCodec{} }); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range Codecs() {
+		if n == "test-raw" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered codec missing from Codecs(): %v", Codecs())
+	}
+	// Select it by name and force the lossy path with a small budget:
+	// the engine runs every lossy level through the external codec.
+	sim, err := New(8, WithCodec("test-raw"), WithBlockAmps(32), WithMemoryBudget(1), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(context.Background(), circuit.HadamardAll(8))
+	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal(err)
+	}
+	if res.Stats.Escalations == 0 {
+		t.Fatal("budget of 1 byte did not escalate; external codec never exercised")
+	}
+	// The raw codec is exact, so amplitudes survive the "lossy" levels
+	// untouched.
+	a, err := sim.Amplitude(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Sqrt(256)
+	if math.Abs(real(a)-want) > 1e-12 {
+		t.Fatalf("amplitude %v through external codec, want %v", a, want)
+	}
+	// Round-trip it through NewCodec as well (covers the double
+	// adapter).
+	c, err := NewCodec("test-raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{1, -2, 0.5}
+	payload, err := c.Compress(nil, in, CodecOptions{Mode: CodecLossless})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 3)
+	if err := c.Decompress(out, payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatal("round-trip through registered codec diverged")
+		}
+	}
+}
+
+// TestRegisterCodecRejectsCollisionsAndNil covers the registry's
+// error contract.
+func TestRegisterCodecRejectsCollisionsAndNil(t *testing.T) {
+	for _, name := range []string{"xor-c", "solution-a", ""} {
+		if err := RegisterCodec(name, func() Codec { return testRawCodec{} }); err == nil {
+			t.Fatalf("registering %q succeeded, want error", name)
+		}
+	}
+	if err := RegisterCodec("test-nil", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	if err := RegisterCodec("test-dup", func() Codec { return testRawCodec{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterCodec("test-dup", func() Codec { return testRawCodec{} }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}

@@ -1,28 +1,66 @@
-// Package qcsim is a Go reproduction of "Full-State Quantum Circuit
-// Simulation by Using Data Compression" (Wu et al., SC 2019): a
-// Schrödinger-style state-vector simulator that keeps every block of
-// amplitudes compressed in memory, trading computation time and a
-// bounded amount of fidelity for memory space.
+// Package qcsim is the public facade of a Go reproduction of
+// "Full-State Quantum Circuit Simulation by Using Data Compression"
+// (Wu et al., SC 2019): a Schrödinger-style state-vector simulator that
+// keeps every block of amplitudes compressed in memory, trading
+// computation time and a bounded amount of fidelity for memory space.
+//
+// # Usage
+//
+// Construct a simulator with New and functional options, build circuits
+// with the qcsim/circuit package, and execute with Run (or RunProgress
+// for per-gate progress events):
+//
+//	sim, err := qcsim.New(16,
+//		qcsim.WithRanks(4),
+//		qcsim.WithMemoryBudget(1<<16),
+//		qcsim.WithSeed(1),
+//	)
+//	if err != nil { ... }
+//	res, err := sim.Run(ctx, circuit.GHZ(16))
+//
+// Run checks ctx at every gate boundary: cancellation stops execution
+// between gates on every rank with an error wrapping context.Canceled,
+// and the simulator remains fully inspectable over the completed
+// prefix. Errors are typed sentinels (ErrBadConfig, ErrInvalidQubit,
+// ErrBudgetExceeded, ...) usable with errors.Is.
+//
+// The Result of a run — and Snapshot at any time — expose the paper's
+// Table 2 accounting: the compress/decompress/compute/communication
+// time breakdown, the compressed footprint and its high-water mark, and
+// the Eq. 11 fidelity lower bound Π(1-δᵢ). Amplitude, ProbabilityOne,
+// ExpectationZ/ZZ, the statistical assertions, and the seeded Sample
+// read the compressed state directly; Save and Load checkpoint the
+// compressed blocks as-is (§3.5).
+//
+// # Codec registry
+//
+// Compressors are selected by name: WithCodec("sz-a") on a simulator,
+// NewCodec for direct use, Codecs for the list. RegisterCodec plugs
+// third-party codecs into the same namespace so CLIs and RPC frontends
+// can select them by string; see the Codec interface for the contract
+// registered factories must honor (self-describing payloads, exact
+// output counts, error bounds respected, fresh instance per call).
 //
 // # Module layout
 //
-// The simulator lives in internal/core; the compressor suite (the
-// paper's Solutions A-D plus SZ/ZFP/FPZIP-model comparators) in
-// internal/compress/...; circuit construction and the dense reference
-// simulator in internal/quantum; the SPMD rank runtime in internal/mpi;
-// and the experiment harness that regenerates every table and figure of
-// the paper in internal/harness.
+// This package and qcsim/circuit (plus qcsim/bench, the experiment
+// harness handle) are the supported API; everything under internal/ is
+// implementation. The simulator engine lives in internal/core; the
+// compressor suite (the paper's Solutions A-D plus SZ/ZFP/FPZIP-model
+// comparators) in internal/compress/...; circuit representation and the
+// dense reference simulator in internal/quantum; the SPMD rank runtime
+// in internal/mpi; and the experiment harness that regenerates every
+// table and figure of the paper in internal/harness.
 //
 // # Parallelism
 //
 // Two knobs mirror the paper's Theta deployment (MPI ranks × OpenMP
-// threads): core.Config.Ranks partitions the state across SPMD ranks
-// (in-process goroutine ranks over internal/mpi), and
-// core.Config.Workers fans each rank's decompress → apply-gate →
-// recompress block loop out across a worker pool, each worker owning a
-// private scratch-buffer pair (Eq. 8). Results — amplitudes,
-// measurement outcomes, and the Eq. 11 fidelity ledger — are
-// bit-identical for every worker count.
+// threads): WithRanks partitions the state across SPMD ranks
+// (in-process goroutine ranks), and WithWorkers fans each rank's
+// decompress → apply-gate → recompress block loop out across a worker
+// pool, each worker owning a private scratch-buffer pair (Eq. 8).
+// Results — amplitudes, measurement outcomes, and the Eq. 11 fidelity
+// ledger — are bit-identical for every worker count.
 //
 // # Building and testing
 //
@@ -30,7 +68,7 @@
 //
 //	go build ./...
 //	go test ./...
-//	go test -race ./internal/core/
+//	go test -race ./...
 //	go test -bench=. -run '^$' .
 //
 // Start with README.md, the examples/ directory, and:

@@ -1,0 +1,45 @@
+package qcsim
+
+import "errors"
+
+// Sentinel errors. Every error returned by the package either is one of
+// these or wraps one of them (or, for aborted runs, wraps the context's
+// error), so callers branch with errors.Is:
+//
+//	if _, err := qcsim.New(n, opts...); errors.Is(err, qcsim.ErrBadConfig) { ... }
+//	if _, err := sim.Run(ctx, c); errors.Is(err, context.Canceled) { ... }
+var (
+	// ErrBadConfig reports an invalid or inconsistent option set passed
+	// to New (qubit count out of range, non-power-of-two ranks or block
+	// size, non-increasing error levels, out-of-range noise
+	// probability, ...).
+	ErrBadConfig = errors.New("qcsim: invalid configuration")
+
+	// ErrInvalidQubit reports a qubit index (or basis-state index)
+	// outside the simulator's register.
+	ErrInvalidQubit = errors.New("qcsim: qubit index out of range")
+
+	// ErrBudgetExceeded reports that during a run some rank completed a
+	// whole gate at the adaptive pipeline's loosest error bound and the
+	// compressed footprint still exceeded the memory budget — the state
+	// could not be made to fit. The simulator remains fully
+	// inspectable; the state is the loosest-bound approximation.
+	ErrBudgetExceeded = errors.New("qcsim: memory budget exceeded at the loosest error bound")
+
+	// ErrCircuitMismatch reports a circuit whose qubit count differs
+	// from the simulator's register width.
+	ErrCircuitMismatch = errors.New("qcsim: circuit width does not match simulator")
+
+	// ErrUnknownCodec reports a codec name with no registered factory
+	// (see RegisterCodec and Codecs).
+	ErrUnknownCodec = errors.New("qcsim: unknown codec")
+
+	// ErrBadCheckpoint reports an unreadable, corrupt, or
+	// geometry-mismatched checkpoint passed to Load.
+	ErrBadCheckpoint = errors.New("qcsim: invalid checkpoint")
+
+	// ErrStateTooLarge reports a request to materialize the full
+	// uncompressed state vector (FullState, Sample) on a register too
+	// wide to allocate it.
+	ErrStateTooLarge = errors.New("qcsim: state too large to materialize")
+)

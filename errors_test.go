@@ -1,0 +1,106 @@
+package qcsim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"qcsim/circuit"
+)
+
+// TestSentinelErrors exercises every sentinel through its public
+// trigger and checks errors.Is recognition.
+func TestSentinelErrors(t *testing.T) {
+	mustBe := func(t *testing.T, err, sentinel error) {
+		t.Helper()
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("error %q does not wrap %q", err, sentinel)
+		}
+	}
+	ctx := context.Background()
+	sim, err := New(4, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("ErrBadConfig/qubits", func(t *testing.T) {
+		_, err := New(0)
+		mustBe(t, err, ErrBadConfig)
+	})
+	t.Run("ErrBadConfig/ranks", func(t *testing.T) {
+		_, err := New(4, WithRanks(3))
+		mustBe(t, err, ErrBadConfig)
+	})
+	t.Run("ErrBadConfig/levels", func(t *testing.T) {
+		_, err := New(4, WithErrorLevels(1e-2, 1e-3))
+		mustBe(t, err, ErrBadConfig)
+	})
+	t.Run("ErrBadConfig/noise", func(t *testing.T) {
+		_, err := New(4, WithNoise(1.5))
+		mustBe(t, err, ErrBadConfig)
+	})
+	t.Run("ErrBadConfig/nil-circuit", func(t *testing.T) {
+		_, err := sim.Run(ctx, nil)
+		mustBe(t, err, ErrBadConfig)
+	})
+	t.Run("ErrBadConfig/negative-shots", func(t *testing.T) {
+		_, err := sim.Sample(-1)
+		mustBe(t, err, ErrBadConfig)
+	})
+	t.Run("ErrUnknownCodec", func(t *testing.T) {
+		_, err := New(4, WithCodec("no-such-codec"))
+		mustBe(t, err, ErrUnknownCodec)
+		_, err = NewCodec("no-such-codec")
+		mustBe(t, err, ErrUnknownCodec)
+	})
+	t.Run("ErrCircuitMismatch", func(t *testing.T) {
+		_, err := sim.Run(ctx, circuit.GHZ(5))
+		mustBe(t, err, ErrCircuitMismatch)
+	})
+	t.Run("ErrInvalidQubit", func(t *testing.T) {
+		_, err := sim.ProbabilityOne(4)
+		mustBe(t, err, ErrInvalidQubit)
+		_, err = sim.ExpectationZ(-1)
+		mustBe(t, err, ErrInvalidQubit)
+		_, err = sim.ExpectationZZ(0, 7)
+		mustBe(t, err, ErrInvalidQubit)
+		_, err = sim.Amplitude(1 << 10)
+		mustBe(t, err, ErrInvalidQubit)
+		mustBe(t, sim.SetBasisState(1<<10), ErrInvalidQubit)
+		mustBe(t, sim.AssertClassical(9, 0, 1e-9), ErrInvalidQubit)
+		mustBe(t, sim.AssertSuperposition(9, 1e-9), ErrInvalidQubit)
+		mustBe(t, sim.AssertProduct(0, 9, 1e-9), ErrInvalidQubit)
+		_, err = sim.MaxCutEnergy([]circuit.Edge{{U: 0, V: 11}})
+		mustBe(t, err, ErrInvalidQubit)
+	})
+	t.Run("ErrBadCheckpoint", func(t *testing.T) {
+		mustBe(t, sim.Load(bytes.NewReader([]byte("not a checkpoint"))), ErrBadCheckpoint)
+	})
+	t.Run("ErrBudgetExceeded", func(t *testing.T) {
+		s, err := New(8, WithBlockAmps(32), WithMemoryBudget(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = s.Run(ctx, circuit.HadamardAll(8))
+		mustBe(t, err, ErrBudgetExceeded)
+	})
+	t.Run("ErrStateTooLarge", func(t *testing.T) {
+		old := maxFullStateQubits
+		maxFullStateQubits = 3
+		defer func() { maxFullStateQubits = old }()
+		_, err := sim.FullState()
+		mustBe(t, err, ErrStateTooLarge)
+		_, err = sim.Sample(8)
+		mustBe(t, err, ErrStateTooLarge)
+	})
+	t.Run("context.Canceled", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		_, err := sim.Run(cctx, circuit.GHZ(4))
+		mustBe(t, err, context.Canceled)
+	})
+}

@@ -1,17 +1,18 @@
 // Textbook algorithms on the compressed engine: phase estimation,
 // Bernstein–Vazirani, and a MAXCUT energy readout — the workloads whose
 // evaluation the paper's introduction motivates, all running on
-// compressed state.
+// compressed state through the public facade.
 //
 //	go run ./examples/algorithms
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"qcsim/internal/core"
-	"qcsim/internal/quantum"
+	"qcsim"
+	"qcsim/circuit"
 )
 
 func main() {
@@ -23,12 +24,12 @@ func main() {
 func phaseEstimation() {
 	// Estimate φ = 3/8 of U = diag(1, e^{2πiφ}) with 3 counting qubits.
 	const t = 3
-	cir := quantum.PhaseEstimation(t, 3.0/8.0)
-	sim, err := core.New(core.Config{Qubits: cir.N, Ranks: 2, BlockAmps: 4})
+	cir := circuit.PhaseEstimation(t, 3.0/8.0)
+	sim, err := qcsim.New(cir.N, qcsim.WithRanks(2), qcsim.WithBlockAmps(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sim.Run(cir); err != nil {
+	if _, err := sim.Run(context.Background(), cir); err != nil {
 		log.Fatal(err)
 	}
 	// The counting register reads the binary expansion 0.011 = 3.
@@ -44,12 +45,12 @@ func phaseEstimation() {
 func bernsteinVazirani() {
 	const n = 10
 	secret := uint64(0b1011010011)
-	cir := quantum.BernsteinVazirani(n, secret)
-	sim, err := core.New(core.Config{Qubits: cir.N, Ranks: 2, BlockAmps: 64})
+	cir := circuit.BernsteinVazirani(n, secret)
+	sim, err := qcsim.New(cir.N, qcsim.WithRanks(2), qcsim.WithBlockAmps(64))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sim.Run(cir); err != nil {
+	if _, err := sim.Run(context.Background(), cir); err != nil {
 		log.Fatal(err)
 	}
 	// Read the register via ⟨Z⟩ signs: ⟨Z_q⟩ = -1 where the secret bit
@@ -72,20 +73,16 @@ func bernsteinVazirani() {
 
 func maxcutReadout() {
 	const n = 10
-	edges := quantum.RandomRegularGraph(n, 4, 77)
-	cir := quantum.QAOA(n, 2, 77)
-	sim, err := core.New(core.Config{Qubits: n, Ranks: 2, BlockAmps: 64})
+	edges := circuit.RandomRegularGraph(n, 4, 77)
+	cir := circuit.QAOA(n, 2, 77)
+	sim, err := qcsim.New(n, qcsim.WithRanks(2), qcsim.WithBlockAmps(64))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sim.Run(cir); err != nil {
+	if _, err := sim.Run(context.Background(), cir); err != nil {
 		log.Fatal(err)
 	}
-	cut := make([]core.CutEdge, len(edges))
-	for i, e := range edges {
-		cut[i] = core.CutEdge{U: e.U, V: e.V}
-	}
-	energy, err := sim.MaxCutEnergy(cut)
+	energy, err := sim.MaxCutEnergy(edges)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,31 +7,30 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
-	"qcsim/internal/core"
-	"qcsim/internal/quantum"
-	"qcsim/internal/stats"
+	"qcsim"
+	"qcsim/circuit"
 )
 
 func main() {
 	const search = 8 // search register width; 2s-3 = 13 qubits total
 	marked := uint64(0xA7 & (1<<search - 1))
-	iters := quantum.GroverOptimalIterations(search)
-	cir := quantum.Grover(search, marked, iters)
+	iters := circuit.GroverOptimalIterations(search)
+	cir := circuit.Grover(search, marked, iters)
 
-	req := core.MemoryRequirement(cir.N)
+	req := qcsim.MemoryRequirement(cir.N)
 	budget := int64(req * 0.05) // 5% of the uncompressed requirement
-	sim, err := core.New(core.Config{
-		Qubits:       cir.N,
-		Ranks:        2,
-		BlockAmps:    2048,
-		MemoryBudget: budget / 2, // per rank
-		CacheLines:   64,
-	})
+	sim, err := qcsim.New(cir.N,
+		qcsim.WithRanks(2),
+		qcsim.WithBlockAmps(2048),
+		qcsim.WithMemoryBudget(budget/2), // per rank
+		qcsim.WithCache(64),
+		qcsim.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,20 +38,21 @@ func main() {
 	fmt.Printf("Grover: %d qubits, %d gates, %d iterations, marked |%0*b⟩\n",
 		cir.N, len(cir.Gates), iters, search, marked)
 	fmt.Printf("state requires %s uncompressed; budget %s\n",
-		stats.FormatBytes(req), stats.FormatBytes(float64(budget)))
+		qcsim.FormatBytes(req), qcsim.FormatBytes(float64(budget)))
 
 	start := time.Now()
-	if err := sim.Run(cir); err != nil {
+	res, err := sim.Run(context.Background(), cir)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("simulated in %v, peak footprint %s (min ratio %.1f:1)\n",
 		time.Since(start).Round(time.Millisecond),
-		stats.FormatBytes(float64(sim.Stats().MaxFootprint)),
-		sim.Stats().MinCompressionRatio(req))
+		qcsim.FormatBytes(float64(res.Stats.MaxFootprint)),
+		res.Stats.MinCompressionRatio(req))
 
-	// Sample the search register: the marked element dominates.
-	rng := rand.New(rand.NewSource(42))
-	samples, err := sim.Sample(rng, 200)
+	// Sample the search register from the simulator's own seeded
+	// stream: the marked element dominates.
+	samples, err := sim.Sample(200)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func main() {
 		}
 	}
 	fmt.Printf("marked element sampled %d/200 times (fidelity bound %.4f)\n",
-		hits, sim.FidelityLowerBound())
+		hits, res.FidelityLowerBound)
 	if hits < 150 {
 		log.Fatalf("amplification failed: only %d hits", hits)
 	}

@@ -7,27 +7,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"qcsim/internal/core"
-	"qcsim/internal/quantum"
+	"qcsim"
+	"qcsim/circuit"
 )
 
 func main() {
 	const n = 12
-	sim, err := core.New(core.Config{Qubits: n, Ranks: 2, BlockAmps: 1024, Seed: 7})
+	ctx := context.Background()
+	sim, err := qcsim.New(n, qcsim.WithRanks(2), qcsim.WithBlockAmps(1024), qcsim.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Phase 1: the mixing layer puts every qubit in uniform
 	// superposition — assert it.
-	prep := quantum.NewCircuit(n)
+	prep := circuit.New(n)
 	for q := 0; q < n; q++ {
 		prep.H(q)
 	}
-	if err := sim.Run(prep); err != nil {
+	if _, err := sim.Run(ctx, prep); err != nil {
 		log.Fatal(err)
 	}
 	for q := 0; q < n; q++ {
@@ -39,21 +41,22 @@ func main() {
 
 	// Phase 2: one QAOA round (cost + mixer), skipping the H prefix
 	// already applied.
-	full := quantum.QAOA(n, 1, 99)
-	round := &quantum.Circuit{N: n, Gates: full.Gates[n:]}
-	if err := sim.Run(round); err != nil {
+	full := circuit.QAOA(n, 1, 99)
+	round := &circuit.Circuit{N: n, Gates: full.Gates[n:]}
+	if _, err := sim.Run(ctx, round); err != nil {
 		log.Fatal(err)
 	}
 
 	// Phase 3: intermediate measurement of qubit 0, then further
 	// evolution of the collapsed state.
-	mid := quantum.NewCircuit(n)
+	mid := circuit.New(n)
 	mid.Measure(0)
 	mid.CNOT(0, 1) // classical feed-forward pattern
-	if err := sim.Run(mid); err != nil {
+	res, err := sim.Run(ctx, mid)
+	if err != nil {
 		log.Fatal(err)
 	}
-	out := sim.Measurements()[0]
+	out := res.Measurements[0]
 	fmt.Printf("intermediate measurement of q0: %d\n", out)
 	if err := sim.AssertClassical(0, out, 1e-9); err != nil {
 		log.Fatalf("collapse check: %v", err)
@@ -62,5 +65,5 @@ func main() {
 
 	p1, _ := sim.ProbabilityOne(1)
 	fmt.Printf("P(q1=1) after feed-forward CNOT: %.4f\n", p1)
-	fmt.Printf("fidelity lower bound: %.6f\n", sim.FidelityLowerBound())
+	fmt.Printf("fidelity lower bound: %.6f\n", res.FidelityLowerBound)
 }

@@ -8,26 +8,27 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
-	"qcsim/internal/core"
-	"qcsim/internal/quantum"
-	"qcsim/internal/stats"
+	"qcsim"
+	"qcsim/circuit"
 )
 
 func main() {
 	const n = 14
-	full := quantum.QFT(n, 5)
+	ctx := context.Background()
+	full := circuit.QFT(n, 5)
 	half := len(full.Gates) / 2
-	cfg := core.Config{Qubits: n, Ranks: 2, BlockAmps: 2048, Seed: 3}
+	opts := []qcsim.Option{qcsim.WithRanks(2), qcsim.WithBlockAmps(2048), qcsim.WithSeed(3)}
 
 	// Job 1: first half, then checkpoint before the wall-time "limit".
-	job1, err := core.New(cfg)
+	job1, err := qcsim.New(n, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := job1.Run(&quantum.Circuit{N: n, Gates: full.Gates[:half]}); err != nil {
+	if _, err := job1.Run(ctx, &circuit.Circuit{N: n, Gates: full.Gates[:half]}); err != nil {
 		log.Fatal(err)
 	}
 	var ckpt bytes.Buffer
@@ -35,28 +36,28 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("job 1: %d/%d gates, checkpoint %s (state is %s uncompressed)\n",
-		half, len(full.Gates), stats.FormatBytes(float64(ckpt.Len())),
-		stats.FormatBytes(core.MemoryRequirement(n)))
+		half, len(full.Gates), qcsim.FormatBytes(float64(ckpt.Len())),
+		qcsim.FormatBytes(qcsim.MemoryRequirement(n)))
 
 	// Job 2: fresh simulator, resume, finish.
-	job2, err := core.New(cfg)
+	job2, err := qcsim.New(n, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := job2.Load(bytes.NewReader(ckpt.Bytes())); err != nil {
 		log.Fatal(err)
 	}
-	if err := job2.Run(&quantum.Circuit{N: n, Gates: full.Gates[half:]}); err != nil {
+	if _, err := job2.Run(ctx, &circuit.Circuit{N: n, Gates: full.Gates[half:]}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("job 2: resumed at gate %d, finished all %d gates\n", half, job2.GatesRun())
 
 	// Verify against an uninterrupted run.
-	ref, err := core.New(cfg)
+	ref, err := qcsim.New(n, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := ref.Run(full); err != nil {
+	if _, err := ref.Run(ctx, full); err != nil {
 		log.Fatal(err)
 	}
 	a, _ := job2.FullState()

@@ -1,16 +1,17 @@
-// Quickstart: build a GHZ state on the compressed-state simulator,
-// inspect amplitudes, and see how small the compressed state stays.
+// Quickstart: build a GHZ state on the compressed-state simulator
+// through the public qcsim facade, inspect amplitudes, and see how
+// small the compressed state stays.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"qcsim/internal/core"
-	"qcsim/internal/quantum"
-	"qcsim/internal/stats"
+	"qcsim"
+	"qcsim/circuit"
 )
 
 func main() {
@@ -18,24 +19,30 @@ func main() {
 
 	// A simulator with 4 ranks (goroutine "nodes") and 4096-amplitude
 	// blocks, every block kept compressed in memory.
-	sim, err := core.New(core.Config{Qubits: qubits, Ranks: 4, BlockAmps: 4096})
+	sim, err := qcsim.New(qubits, qcsim.WithRanks(4), qcsim.WithBlockAmps(4096))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// |GHZ⟩ = (|0...0⟩ + |1...1⟩)/√2 — maximally structured, so the
-	// lossless stage compresses it enormously.
-	if err := sim.Run(quantum.GHZ(qubits)); err != nil {
+	// lossless stage compresses it enormously. RunProgress reports each
+	// completed gate.
+	gates := 0
+	res, err := sim.RunProgress(context.Background(), circuit.GHZ(qubits), func(ev qcsim.ProgressEvent) {
+		gates = ev.Gate + 1
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("ran %d/%d gates\n", gates, res.Gates)
 
 	a0, _ := sim.Amplitude(0)
 	a1, _ := sim.Amplitude(1<<qubits - 1)
 	fmt.Printf("⟨0...0|ψ⟩ = %.4f, ⟨1...1|ψ⟩ = %.4f\n", a0, a1)
 
-	req := core.MemoryRequirement(qubits)
-	fmt.Printf("uncompressed state: %s\n", stats.FormatBytes(req))
+	req := qcsim.MemoryRequirement(qubits)
+	fmt.Printf("uncompressed state: %s\n", qcsim.FormatBytes(req))
 	fmt.Printf("compressed state:   %s (ratio %.0f:1)\n",
-		stats.FormatBytes(float64(sim.CompressedFootprint())), sim.CompressionRatio())
-	fmt.Printf("fidelity lower bound: %.6f (lossless: nothing lost)\n", sim.FidelityLowerBound())
+		qcsim.FormatBytes(float64(res.Footprint)), res.CompressionRatio)
+	fmt.Printf("fidelity lower bound: %.6f (lossless: nothing lost)\n", res.FidelityLowerBound)
 }

@@ -6,6 +6,8 @@ package registry
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 
 	"qcsim/internal/compress"
 	"qcsim/internal/compress/fpziplike"
@@ -42,21 +44,67 @@ var aliases = map[string]string{
 	"fpzip":      "fpzip-like",
 }
 
+// mu guards extra, the runtime-registered factories. The built-in maps
+// above are never mutated after init, so they need no lock.
+var (
+	mu    sync.RWMutex
+	extra = map[string]func() compress.Codec{}
+)
+
+// Register adds a named codec factory at runtime — the extension point
+// the public qcsim facade exposes so third-party codecs can be selected
+// by name exactly like the built-ins. The factory must return a fresh
+// instance on every call. Names are case-sensitive, must be non-empty,
+// and may not collide with a built-in name, alias, or prior
+// registration.
+func Register(name string, factory func() compress.Codec) error {
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("registry: empty codec name")
+	}
+	if factory == nil {
+		return fmt.Errorf("registry: nil factory for codec %q", name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := factories[name]; ok {
+		return fmt.Errorf("registry: codec %q already registered (built-in)", name)
+	}
+	if _, ok := aliases[name]; ok {
+		return fmt.Errorf("registry: codec %q already registered (alias)", name)
+	}
+	if _, ok := extra[name]; ok {
+		return fmt.Errorf("registry: codec %q already registered", name)
+	}
+	extra[name] = factory
+	return nil
+}
+
 // New returns a fresh codec by name or alias.
 func New(name string) (compress.Codec, error) {
 	if canonical, ok := aliases[name]; ok {
 		name = canonical
 	}
-	f, ok := factories[name]
+	if f, ok := factories[name]; ok {
+		return f(), nil
+	}
+	mu.RLock()
+	f, ok := extra[name]
+	mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("registry: unknown codec %q (have %v)", name, Names())
 	}
 	return f(), nil
 }
 
-// Names lists the canonical codec names, sorted.
+// Names lists the canonical codec names (built-in and registered),
+// sorted.
 func Names() []string {
-	out := make([]string, 0, len(factories))
+	mu.RLock()
+	out := make([]string, 0, len(factories)+len(extra))
+	for n := range extra {
+		out = append(out, n)
+	}
+	mu.RUnlock()
 	for n := range factories {
 		out = append(out, n)
 	}

@@ -41,6 +41,11 @@ type Simulator struct {
 	measurements []int
 	bytesMoved   int64
 	rng          *rand.Rand
+	// sampleRng is the dedicated stream Sample falls back to when the
+	// caller passes no rng. Keeping it separate from rng (which drives
+	// measurement collapse) makes sampling side-effect-free: drawing
+	// samples never perturbs later measurement outcomes.
+	sampleRng *rand.Rand
 
 	// ledger is the fidelity lower bound Π(1-δᵢ) over executed gates
 	// (Eq. 11).
@@ -67,6 +72,10 @@ type rankState struct {
 	stats   Stats
 	rng     *rand.Rand // per-rank noise stream (deterministic)
 	mu      sync.Mutex
+	// overBudget latches when a gate boundary finds the footprint above
+	// the memory budget with no escalation level left — a whole gate
+	// ran at the loosest bound and the state still did not fit.
+	overBudget bool
 }
 
 // workerState is one worker's private slice of the rank working set: a
@@ -101,10 +110,11 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{
-		cfg:      cfg,
-		rankBits: bits.TrailingZeros(uint(cfg.Ranks)),
-		ledger:   1,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cfg:       cfg,
+		rankBits:  bits.TrailingZeros(uint(cfg.Ranks)),
+		ledger:    1,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		sampleRng: rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
 	}
 	perRank := cfg.Qubits - s.rankBits
 	s.offsetBits = bits.TrailingZeros(uint(cfg.BlockAmps))
@@ -158,6 +168,7 @@ func (s *Simulator) Config() Config { return s.cfg }
 func (s *Simulator) Reset() error {
 	for _, rs := range s.ranks {
 		rs.level = 0
+		rs.overBudget = false
 		rs.stats = Stats{}
 		for _, w := range rs.workers {
 			w.stats = Stats{}
@@ -318,12 +329,15 @@ func (s *Simulator) maybeEscalate(rs *rankState) {
 	if rs.stats.CurrentFootprint > rs.stats.MaxFootprint {
 		rs.stats.MaxFootprint = rs.stats.CurrentFootprint
 	}
-	if s.cfg.MemoryBudget > 0 && rs.stats.CurrentFootprint > s.cfg.MemoryBudget &&
-		rs.level < len(s.cfg.ErrorLevels) && !s.cfg.Uncompressed {
-		rs.level++
-		rs.stats.Escalations++
-		if rs.level > rs.stats.FinalLevel {
-			rs.stats.FinalLevel = rs.level
+	if s.cfg.MemoryBudget > 0 && rs.stats.CurrentFootprint > s.cfg.MemoryBudget && !s.cfg.Uncompressed {
+		if rs.level < len(s.cfg.ErrorLevels) {
+			rs.level++
+			rs.stats.Escalations++
+			if rs.level > rs.stats.FinalLevel {
+				rs.stats.FinalLevel = rs.level
+			}
+		} else {
+			rs.overBudget = true
 		}
 	}
 }
@@ -399,9 +413,36 @@ func (s *Simulator) forBlocks(rs *rankState, fn func(w *workerState, b int) erro
 	return firstErr
 }
 
+// RunControl carries the optional per-gate hooks RunControlled consults
+// at gate boundaries. The zero value disables both hooks, making
+// RunControlled identical to Run.
+type RunControl struct {
+	// PollAbort, when non-nil, is consulted on rank 0 before every gate.
+	// A non-nil return stops execution at that gate boundary on every
+	// rank (the decision is broadcast, so all ranks agree and no
+	// cross-rank exchange is left half-paired) and RunControlled returns
+	// an error wrapping it. Gates already executed are kept: state,
+	// stats, and the fidelity ledger reflect exactly the completed
+	// prefix and the simulator stays fully inspectable.
+	PollAbort func() error
+	// OnGate, when non-nil, is invoked on rank 0 after each gate
+	// completes, with the gate's index, the total gate count of this run
+	// (post-fusion), and the gate itself. It runs on the rank-0
+	// goroutine and must not call back into the Simulator.
+	OnGate func(gi, total int, g quantum.Gate)
+}
+
 // Run executes the circuit on the current state. It may be called
 // repeatedly; state, stats, and the fidelity ledger accumulate.
 func (s *Simulator) Run(c *quantum.Circuit) error {
+	return s.RunControlled(c, RunControl{})
+}
+
+// RunControlled is Run with gate-boundary hooks: cooperative abort
+// (PollAbort) and progress reporting (OnGate). With zero hooks the
+// execution path — every collective, every compressed bit — is
+// identical to Run.
+func (s *Simulator) RunControlled(c *quantum.Circuit, ctl RunControl) error {
 	if c.N != s.cfg.Qubits {
 		return fmt.Errorf("core: circuit has %d qubits, simulator %d", c.N, s.cfg.Qubits)
 	}
@@ -410,24 +451,51 @@ func (s *Simulator) Run(c *quantum.Circuit) error {
 	}
 	s.gateLevel = make([]uint32, len(c.Gates))
 	measured := make([][]int, s.cfg.Ranks)
+	// abortErr and executed are written only by the rank-0 goroutine and
+	// read after mpi.Run's WaitGroup establishes happens-before.
+	var abortErr error
+	var executed int
 	comms, err := mpi.Run(s.cfg.Ranks, func(comm *mpi.Comm) {
 		rs := s.ranks[comm.Rank()]
+		ran := 0
 		for gi, g := range c.Gates {
+			if ctl.PollAbort != nil {
+				// Rank 0 decides; the broadcast makes every rank stop at
+				// the same gate boundary (a rank aborting unilaterally
+				// would strand its cross-rank partners mid-exchange).
+				var stop float64
+				if comm.Rank() == 0 {
+					if aerr := ctl.PollAbort(); aerr != nil {
+						abortErr = aerr
+						stop = 1
+					}
+				}
+				if comm.Bcast(0, stop) != 0 {
+					break
+				}
+			}
 			if g.Kind == quantum.KindMeasure {
 				out := s.measureRank(comm, rs, g.Target, gi)
 				if comm.Rank() == 0 {
 					measured[0] = append(measured[0], out)
 				}
-				continue
+			} else {
+				if err := s.applyGateRank(comm, rs, g, gi); err != nil {
+					panic(err)
+				}
+				if s.noise != nil {
+					s.applyNoiseRank(comm, rs, g, gi)
+				}
 			}
-			if err := s.applyGateRank(comm, rs, g, gi); err != nil {
-				panic(err)
-			}
-			if s.noise != nil {
-				s.applyNoiseRank(comm, rs, g, gi)
+			ran++
+			if comm.Rank() == 0 && ctl.OnGate != nil {
+				ctl.OnGate(gi, len(c.Gates), g)
 			}
 		}
-		rs.stats.Gates += len(c.Gates)
+		rs.stats.Gates += ran
+		if comm.Rank() == 0 {
+			executed = ran
+		}
 	})
 	if err != nil {
 		return err
@@ -437,13 +505,17 @@ func (s *Simulator) Run(c *quantum.Circuit) error {
 		s.bytesMoved += comm.BytesMoved()
 	}
 	s.measurements = append(s.measurements, measured[0]...)
-	// Fold per-gate max levels into the ledger (Eq. 11).
+	// Fold per-gate max levels into the ledger (Eq. 11). Gates past an
+	// abort boundary were never executed, so their entries are still 0.
 	for _, lvl := range s.gateLevel {
 		if lvl > 0 {
 			s.ledger *= 1 - s.cfg.ErrorLevels[lvl-1]
 		}
 	}
-	s.gatesRun += len(c.Gates)
+	s.gatesRun += executed
+	if abortErr != nil {
+		return fmt.Errorf("core: run aborted after %d of %d gates: %w", executed, len(c.Gates), abortErr)
+	}
 	return nil
 }
 

@@ -388,7 +388,7 @@ func TestCommTimeOnlyWithCrossRankGates(t *testing.T) {
 	if err := s.Run(c); err != nil {
 		t.Fatal(err)
 	}
-	if moved := s.bytesMovedForTest(); moved != 0 {
+	if moved := s.BytesMoved(); moved != 0 {
 		t.Fatalf("local gates moved %d bytes across ranks", moved)
 	}
 	// A gate on the top qubit must communicate.
@@ -396,7 +396,7 @@ func TestCommTimeOnlyWithCrossRankGates(t *testing.T) {
 	if err := s2.Run(quantum.NewCircuit(8).H(7)); err != nil {
 		t.Fatal(err)
 	}
-	if moved := s2.bytesMovedForTest(); moved == 0 {
+	if moved := s2.BytesMoved(); moved == 0 {
 		t.Fatal("cross-rank gate moved no bytes")
 	}
 }

@@ -117,8 +117,15 @@ func (s *Simulator) ProbabilityOne(q int) (float64, error) {
 }
 
 // Sample draws `shots` full-register outcomes from the compressed state
-// without collapsing it (test scales).
+// without collapsing it (test scales). A nil rng falls back to the
+// simulator's own seeded sampling stream, so deterministic sampling
+// needs no caller-supplied randomness — and, because that stream is
+// separate from the measurement-collapse stream, sampling never
+// perturbs later measurement outcomes.
 func (s *Simulator) Sample(rng *rand.Rand, shots int) ([]uint64, error) {
+	if rng == nil {
+		rng = s.sampleRng
+	}
 	amps, err := s.FullState()
 	if err != nil {
 		return nil, err
@@ -176,8 +183,19 @@ func (s *Simulator) GatesRun() int { return s.gatesRun }
 // BytesMoved returns the cumulative cross-rank communication volume.
 func (s *Simulator) BytesMoved() int64 { return s.bytesMoved }
 
-// bytesMovedForTest aliases BytesMoved for the package tests.
-func (s *Simulator) bytesMovedForTest() int64 { return s.bytesMoved }
+// OverBudget reports whether, on any rank, a gate boundary found the
+// compressed footprint above the memory budget with the §3.7 escalation
+// ladder already exhausted — a whole gate ran at the loosest error
+// bound and the state still did not fit, so the adaptive pipeline can
+// no longer trade fidelity for space. The latch clears on Reset.
+func (s *Simulator) OverBudget() bool {
+	for _, rs := range s.ranks {
+		if rs.overBudget {
+			return true
+		}
+	}
+	return false
+}
 
 func fmtBytes(b float64) string {
 	units := []string{"B", "KB", "MB", "GB", "TB", "PB", "EB"}

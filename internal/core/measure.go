@@ -150,3 +150,7 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) int {
 func (s *Simulator) Measurements() []int {
 	return append([]int(nil), s.measurements...)
 }
+
+// MeasurementCount returns how many measurement outcomes have been
+// recorded, without copying the log.
+func (s *Simulator) MeasurementCount() int { return len(s.measurements) }

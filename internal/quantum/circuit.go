@@ -21,16 +21,19 @@ func NewCircuit(n int) *Circuit {
 // gates for the simulation cost model, §5.5).
 func (c *Circuit) Depth() int { return len(c.Gates) }
 
+// check validates gate operands. Gates touch at most a few qubits, so a
+// quadratic scan over the argument slice beats allocating a set on every
+// append — this sits on the circuit-builder hot path.
 func (c *Circuit) check(qs ...int) {
-	seen := map[int]bool{}
-	for _, q := range qs {
+	for i, q := range qs {
 		if q < 0 || q >= c.N {
 			panic(fmt.Sprintf("quantum: qubit %d out of range [0,%d)", q, c.N))
 		}
-		if seen[q] {
-			panic(fmt.Sprintf("quantum: duplicate qubit %d in one gate", q))
+		for _, p := range qs[:i] {
+			if p == q {
+				panic(fmt.Sprintf("quantum: duplicate qubit %d in one gate", q))
+			}
 		}
-		seen[q] = true
 	}
 }
 

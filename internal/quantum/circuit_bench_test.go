@@ -1,0 +1,42 @@
+package quantum
+
+import "testing"
+
+// BenchmarkCircuitBuild guards the builder hot path: appending gates
+// must not allocate per-gate validation state (check used to build a
+// map[int]bool for every append).
+func BenchmarkCircuitBuild(b *testing.B) {
+	const n = 16
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewCircuit(n)
+		for q := 0; q < n-1; q++ {
+			c.H(q).CNOT(q, q+1)
+		}
+		for q := 0; q < n-2; q++ {
+			c.Toffoli(q, q+1, q+2)
+		}
+		for q := 0; q < n; q++ {
+			c.T(q).Measure(q)
+		}
+	}
+}
+
+func TestCheckRejectsDuplicatesAndRange(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	c := NewCircuit(4)
+	mustPanic("duplicate", func() { c.Toffoli(1, 1, 2) })
+	mustPanic("duplicate control/target", func() { c.CNOT(3, 3) })
+	mustPanic("out of range", func() { c.H(4) })
+	mustPanic("negative", func() { c.X(-1) })
+	// Valid distinct operands still pass.
+	c.Toffoli(0, 1, 2).CNOT(3, 0)
+}

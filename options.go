@@ -1,0 +1,123 @@
+package qcsim
+
+import (
+	"fmt"
+
+	"qcsim/internal/compress/registry"
+	"qcsim/internal/core"
+)
+
+// DefaultErrorLevels are the paper's five pointwise relative error
+// bounds, tightest first. Level 0 (not listed) is always the lossless
+// stage; WithMemoryBudget makes the engine escalate through these
+// whenever the compressed footprint exceeds the budget.
+var DefaultErrorLevels = core.DefaultErrorLevels
+
+// settings accumulates functional options before New resolves them into
+// the engine configuration. Option errors are deferred: the first one
+// is reported by New, wrapped in ErrBadConfig (or ErrUnknownCodec for
+// codec-name lookups).
+type settings struct {
+	cfg       core.Config
+	codecName string
+	noiseProb float64
+}
+
+// Option configures a Simulator at construction. Options are applied in
+// order; later options override earlier ones.
+type Option func(*settings)
+
+// WithRanks partitions the state across r SPMD ranks (goroutine
+// "nodes"; power of two). Default 1.
+func WithRanks(r int) Option {
+	return func(s *settings) { s.cfg.Ranks = r }
+}
+
+// WithWorkers sets the intra-rank worker-pool width: how many
+// goroutines fan out over one rank's block loop. Results are
+// bit-identical for every worker count. Default NumCPU/ranks.
+func WithWorkers(w int) Option {
+	return func(s *settings) { s.cfg.Workers = w }
+}
+
+// WithBlockAmps sets the number of amplitudes per compressed block
+// (power of two; the paper uses 2^20). Default 4096.
+func WithBlockAmps(n int) Option {
+	return func(s *settings) { s.cfg.BlockAmps = n }
+}
+
+// WithMemoryBudget caps the per-rank compressed footprint in bytes.
+// Exceeding it relaxes the error bound one level per gate boundary (the
+// paper's §3.7 adaptive pipeline). 0 (the default) means unlimited —
+// the simulation stays lossless. If a run ends with the footprint still
+// over budget at the loosest bound, Run reports ErrBudgetExceeded.
+func WithMemoryBudget(bytes int64) Option {
+	return func(s *settings) { s.cfg.MemoryBudget = bytes }
+}
+
+// WithErrorLevels replaces the escalation ladder of pointwise relative
+// error bounds (strictly increasing, tightest first). Default
+// DefaultErrorLevels.
+func WithErrorLevels(bounds ...float64) Option {
+	return func(s *settings) { s.cfg.ErrorLevels = append([]float64(nil), bounds...) }
+}
+
+// WithCodec selects the error-bounded codec used for lossy levels by
+// registry name or alias (e.g. "xor-c", "sz-a", "solution-d"; see
+// Codecs for the full list, RegisterCodec to add entries). The level-0
+// lossless stage is unaffected. Default "xor-c", the paper's
+// Solution C.
+func WithCodec(name string) Option {
+	return func(s *settings) { s.codecName = name }
+}
+
+// WithCache enables the compressed block cache with the given number of
+// LRU lines (the paper's §3.4 uses 64). 0 (the default) disables it.
+func WithCache(lines int) Option {
+	return func(s *settings) { s.cfg.CacheLines = lines }
+}
+
+// WithNoise installs a quantum-trajectories depolarizing channel: after
+// each gate, with probability prob (in [0,1)), a uniformly random Pauli
+// hits the gate's target qubit. Default 0 (noiseless).
+func WithNoise(prob float64) Option {
+	return func(s *settings) { s.noiseProb = prob }
+}
+
+// WithSeed seeds every random stream the simulator owns — measurement
+// collapse, the noise channel, and Sample — making runs fully
+// deterministic. Default 0.
+func WithSeed(seed int64) Option {
+	return func(s *settings) { s.cfg.Seed = seed }
+}
+
+// WithGateFusion folds runs of adjacent single-qubit gates on the same
+// target into one unitary before execution, cutting the per-gate
+// decompress/recompress sweeps proportionally.
+func WithGateFusion(enabled bool) Option {
+	return func(s *settings) { s.cfg.FuseGates = enabled }
+}
+
+// WithUncompressed disables compression entirely (blocks stored raw) —
+// the Intel-QS-equivalent baseline the paper compares against.
+func WithUncompressed(enabled bool) Option {
+	return func(s *settings) { s.cfg.Uncompressed = enabled }
+}
+
+// resolve turns the accumulated settings into a core configuration,
+// resolving the codec name through the registry.
+func (s *settings) resolve(qubits int) (core.Config, float64, error) {
+	cfg := s.cfg
+	cfg.Qubits = qubits
+	if s.codecName != "" {
+		codec, err := registry.New(s.codecName)
+		if err != nil {
+			return cfg, 0, fmt.Errorf("%w: %q (have %v)", ErrUnknownCodec, s.codecName, Codecs())
+		}
+		cfg.Lossy = codec
+	}
+	if s.noiseProb < 0 || s.noiseProb >= 1 {
+		return cfg, 0, fmt.Errorf("%w: depolarizing probability %v out of [0,1)", ErrBadConfig, s.noiseProb)
+	}
+	return cfg, s.noiseProb, nil
+}

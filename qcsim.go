@@ -1,0 +1,386 @@
+package qcsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"qcsim/circuit"
+	"qcsim/internal/core"
+	"qcsim/internal/stats"
+)
+
+// Stats is the engine's accounting: the time breakdown
+// (compress/decompress/compute/communication), footprint high-water
+// marks, cache behaviour, and error-level escalations that regenerate
+// the paper's Table 2.
+type Stats = core.Stats
+
+// Simulator is the public handle on the compressed-state engine: a
+// full-state Schrödinger-style simulator that keeps the 2^n-amplitude
+// state vector compressed in memory at all times (Wu et al., SC'19).
+//
+// Construct with New, execute circuits with Run or RunProgress (state
+// persists across calls), inspect with Amplitude / ProbabilityOne /
+// Snapshot and friends, sample with Sample, and persist with Save and
+// Load. A Simulator is not safe for concurrent use; the engine
+// parallelizes internally (WithRanks, WithWorkers).
+type Simulator struct {
+	eng *core.Simulator
+}
+
+// New builds a simulator for the given register width, initialized to
+// |0...0⟩. Invalid configurations report ErrBadConfig (or
+// ErrUnknownCodec for an unresolvable WithCodec name).
+func New(qubits int, opts ...Option) (*Simulator, error) {
+	var st settings
+	for _, o := range opts {
+		if o != nil {
+			o(&st)
+		}
+	}
+	cfg, noiseProb, err := st.resolve(qubits)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if noiseProb > 0 {
+		if err := eng.SetNoise(&core.NoiseModel{Prob: noiseProb}); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	}
+	return &Simulator{eng: eng}, nil
+}
+
+// ProgressEvent describes one completed gate of a RunProgress call.
+type ProgressEvent struct {
+	// Gate is the 0-based index of the gate that just completed.
+	Gate int
+	// Total is the number of gates in this run (after gate fusion, if
+	// enabled).
+	Total int
+	// Name is the gate's name (e.g. "h", "cx", "measure").
+	Name string
+	// Target is the gate's target qubit.
+	Target int
+}
+
+// Result summarizes one Run call. The counters that accumulate across
+// calls (Stats, FidelityLowerBound, footprint) reflect the simulator's
+// cumulative totals; Gates and Measurements cover this call only.
+type Result struct {
+	// Gates is the number of gates this call executed (after fusion; on
+	// a cancelled run, the completed prefix).
+	Gates int
+	// Measurements holds the outcomes of measurement gates executed by
+	// this call, in order.
+	Measurements []int
+	// FidelityLowerBound is the running Π(1-δᵢ) ledger (Eq. 11) — 1.0
+	// while every gate has executed lossless.
+	FidelityLowerBound float64
+	// Footprint is the current compressed state size in bytes, summed
+	// across ranks.
+	Footprint int64
+	// CompressionRatio is uncompressed-state-bytes over Footprint.
+	CompressionRatio float64
+	// Stats is the cumulative aggregate accounting across ranks.
+	Stats Stats
+}
+
+// Run executes the circuit on the current state. It may be called
+// repeatedly; state, stats, and the fidelity ledger accumulate across
+// calls.
+//
+// Cancellation is checked at gate boundaries: if ctx is cancelled the
+// run stops between gates on every rank, the returned error wraps
+// ctx.Err() (so errors.Is(err, context.Canceled) holds), and the
+// returned Result covers the completed prefix — the simulator stays
+// fully inspectable. A run that ends with the footprint still over the
+// memory budget at the loosest error bound reports ErrBudgetExceeded
+// alongside a valid Result.
+func (s *Simulator) Run(ctx context.Context, c *circuit.Circuit) (*Result, error) {
+	return s.run(ctx, c, nil)
+}
+
+// RunProgress is Run with a progress callback invoked after every
+// completed gate. fn runs on an engine goroutine and must not call back
+// into the Simulator; keep it fast — it sits between gates.
+func (s *Simulator) RunProgress(ctx context.Context, c *circuit.Circuit, fn func(ProgressEvent)) (*Result, error) {
+	return s.run(ctx, c, fn)
+}
+
+func (s *Simulator) run(ctx context.Context, c *circuit.Circuit, fn func(ProgressEvent)) (*Result, error) {
+	if c == nil {
+		return nil, fmt.Errorf("%w: nil circuit", ErrBadConfig)
+	}
+	if c.N != s.eng.Qubits() {
+		return nil, fmt.Errorf("%w: circuit has %d qubits, simulator %d", ErrCircuitMismatch, c.N, s.eng.Qubits())
+	}
+	var ctl core.RunControl
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		// Only contexts that can actually be cancelled pay for the
+		// per-gate abort broadcast; context.Background() runs the exact
+		// same path as the internal engine's Run.
+		ctl.PollAbort = ctx.Err
+	}
+	if fn != nil {
+		ctl.OnGate = func(gi, total int, g circuit.Gate) {
+			fn(ProgressEvent{Gate: gi, Total: total, Name: g.Name, Target: g.Target})
+		}
+	}
+	gatesBefore := s.eng.GatesRun()
+	measBefore := s.eng.MeasurementCount()
+	runErr := s.eng.RunControlled(c, ctl)
+
+	all := s.eng.Measurements()
+	res := &Result{
+		Gates:              s.eng.GatesRun() - gatesBefore,
+		Measurements:       all[measBefore:],
+		FidelityLowerBound: s.eng.FidelityLowerBound(),
+		Footprint:          s.eng.CompressedFootprint(),
+		CompressionRatio:   s.eng.CompressionRatio(),
+		Stats:              s.eng.Stats(),
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	if s.eng.OverBudget() {
+		return res, fmt.Errorf("%w: footprint %s after %d escalations", ErrBudgetExceeded,
+			FormatBytes(float64(res.Footprint)), res.Stats.Escalations)
+	}
+	return res, nil
+}
+
+// Snapshot is a point-in-time view of the simulator's cumulative
+// accounting — everything Result carries plus geometry and
+// communication volume.
+type Snapshot struct {
+	Qubits             int
+	GatesRun           int
+	Measurements       []int
+	FidelityLowerBound float64
+	Footprint          int64
+	MaxFootprint       int64
+	CompressionRatio   float64
+	BytesMoved         int64
+	Stats              Stats
+}
+
+// Snapshot returns the current cumulative accounting. It never touches
+// the compressed blocks, so it is cheap and safe at any scale.
+func (s *Simulator) Snapshot() Snapshot {
+	st := s.eng.Stats()
+	return Snapshot{
+		Qubits:             s.eng.Qubits(),
+		GatesRun:           s.eng.GatesRun(),
+		Measurements:       s.eng.Measurements(),
+		FidelityLowerBound: s.eng.FidelityLowerBound(),
+		Footprint:          s.eng.CompressedFootprint(),
+		MaxFootprint:       st.MaxFootprint,
+		CompressionRatio:   s.eng.CompressionRatio(),
+		BytesMoved:         s.eng.BytesMoved(),
+		Stats:              st,
+	}
+}
+
+// Qubits returns the register width n.
+func (s *Simulator) Qubits() int { return s.eng.Qubits() }
+
+// Reset reinitializes the state to |0...0⟩ and the fidelity ledger to
+// 1, keeping the configuration.
+func (s *Simulator) Reset() error { return s.eng.Reset() }
+
+// SetBasisState reinitializes the state to |idx⟩.
+func (s *Simulator) SetBasisState(idx uint64) error {
+	if idx >= 1<<uint(s.eng.Qubits()) {
+		return fmt.Errorf("%w: basis state %d on a %d-qubit register", ErrInvalidQubit, idx, s.eng.Qubits())
+	}
+	return s.eng.SetBasisState(idx)
+}
+
+func (s *Simulator) checkQubit(q int) error {
+	if q < 0 || q >= s.eng.Qubits() {
+		return fmt.Errorf("%w: qubit %d on a %d-qubit register", ErrInvalidQubit, q, s.eng.Qubits())
+	}
+	return nil
+}
+
+// Amplitude returns ⟨idx|ψ⟩, decompressing only the containing block.
+func (s *Simulator) Amplitude(idx uint64) (complex128, error) {
+	if idx >= 1<<uint(s.eng.Qubits()) {
+		return 0, fmt.Errorf("%w: amplitude index %d on a %d-qubit register", ErrInvalidQubit, idx, s.eng.Qubits())
+	}
+	return s.eng.Amplitude(idx)
+}
+
+// maxFullStateQubits bounds FullState/Sample: past this width the
+// decompressed vector itself is gigabytes. A var so tests can exercise
+// the ErrStateTooLarge path without building a 27-qubit state.
+var maxFullStateQubits = 26
+
+// FullState decompresses and returns the whole state vector. Registers
+// wider than 26 qubits report ErrStateTooLarge.
+func (s *Simulator) FullState() ([]complex128, error) {
+	if s.eng.Qubits() > maxFullStateQubits {
+		return nil, fmt.Errorf("%w: %d qubits would allocate %s", ErrStateTooLarge,
+			s.eng.Qubits(), FormatBytes(MemoryRequirement(s.eng.Qubits())))
+	}
+	return s.eng.FullState()
+}
+
+// Norm returns Σ|aᵢ|² across the full compressed state (1 up to
+// compression error).
+func (s *Simulator) Norm() (float64, error) { return s.eng.Norm() }
+
+// ProbabilityOne returns P(qubit q = 1) without collapsing the state.
+func (s *Simulator) ProbabilityOne(q int) (float64, error) {
+	if err := s.checkQubit(q); err != nil {
+		return 0, err
+	}
+	return s.eng.ProbabilityOne(q)
+}
+
+// ExpectationZ returns ⟨Z_q⟩ = P(q=0) - P(q=1).
+func (s *Simulator) ExpectationZ(q int) (float64, error) {
+	if err := s.checkQubit(q); err != nil {
+		return 0, err
+	}
+	return s.eng.ExpectationZ(q)
+}
+
+// ExpectationZZ returns the two-point correlator ⟨Z_a Z_b⟩.
+func (s *Simulator) ExpectationZZ(a, b int) (float64, error) {
+	if err := s.checkQubit(a); err != nil {
+		return 0, err
+	}
+	if err := s.checkQubit(b); err != nil {
+		return 0, err
+	}
+	return s.eng.ExpectationZZ(a, b)
+}
+
+// MaxCutEnergy returns the expected cut value Σ_edges (1 - ⟨Z_u Z_v⟩)/2
+// of the current state — the QAOA objective over the given graph.
+func (s *Simulator) MaxCutEnergy(edges []circuit.Edge) (float64, error) {
+	cut := make([]core.CutEdge, len(edges))
+	for i, e := range edges {
+		if err := s.checkQubit(e.U); err != nil {
+			return 0, err
+		}
+		if err := s.checkQubit(e.V); err != nil {
+			return 0, err
+		}
+		cut[i] = core.CutEdge{U: e.U, V: e.V}
+	}
+	return s.eng.MaxCutEnergy(cut)
+}
+
+// AssertClassical checks that qubit q reads `value` with probability at
+// least 1-tol — the statistical-assertion debugging workflow the paper
+// motivates.
+func (s *Simulator) AssertClassical(q, value int, tol float64) error {
+	if err := s.checkQubit(q); err != nil {
+		return err
+	}
+	return s.eng.AssertClassical(q, value, tol)
+}
+
+// AssertSuperposition checks that qubit q is in an approximately
+// uniform superposition: P(1) within tol of 1/2.
+func (s *Simulator) AssertSuperposition(q int, tol float64) error {
+	if err := s.checkQubit(q); err != nil {
+		return err
+	}
+	return s.eng.AssertSuperposition(q, tol)
+}
+
+// AssertProduct checks that qubits a and b are approximately
+// unentangled in the computational basis (total-variation distance of
+// the joint distribution from the product of marginals ≤ tol).
+func (s *Simulator) AssertProduct(a, b int, tol float64) error {
+	if err := s.checkQubit(a); err != nil {
+		return err
+	}
+	if err := s.checkQubit(b); err != nil {
+		return err
+	}
+	return s.eng.AssertProduct(a, b, tol)
+}
+
+// Measurements returns the outcomes of every measurement gate executed
+// so far, in order.
+func (s *Simulator) Measurements() []int { return s.eng.Measurements() }
+
+// Sample draws `shots` full-register outcomes from the simulator's own
+// seeded stream (WithSeed) without collapsing the state. Registers
+// wider than 26 qubits report ErrStateTooLarge.
+func (s *Simulator) Sample(shots int) ([]uint64, error) {
+	if shots < 0 {
+		return nil, fmt.Errorf("%w: negative shot count %d", ErrBadConfig, shots)
+	}
+	if s.eng.Qubits() > maxFullStateQubits {
+		return nil, fmt.Errorf("%w: sampling %d qubits would materialize %s", ErrStateTooLarge,
+			s.eng.Qubits(), FormatBytes(MemoryRequirement(s.eng.Qubits())))
+	}
+	return s.eng.Sample(nil, shots)
+}
+
+// Stats returns the cumulative aggregate accounting across ranks.
+func (s *Simulator) Stats() Stats { return s.eng.Stats() }
+
+// FidelityLowerBound returns the running fidelity ledger Π(1-δᵢ) over
+// all executed gates (the paper's Eq. 11).
+func (s *Simulator) FidelityLowerBound() float64 { return s.eng.FidelityLowerBound() }
+
+// CompressedFootprint returns the current compressed state size in
+// bytes, summed across ranks.
+func (s *Simulator) CompressedFootprint() int64 { return s.eng.CompressedFootprint() }
+
+// CompressionRatio returns uncompressed-state-bytes over the current
+// compressed footprint.
+func (s *Simulator) CompressionRatio() float64 { return s.eng.CompressionRatio() }
+
+// GatesRun returns the number of gates executed so far across all
+// runs.
+func (s *Simulator) GatesRun() int { return s.eng.GatesRun() }
+
+// BytesMoved returns the cumulative cross-rank communication volume in
+// bytes.
+func (s *Simulator) BytesMoved() int64 { return s.eng.BytesMoved() }
+
+// Save writes a self-describing, checksummed checkpoint of the full
+// simulator state (compressed blocks as-is, ledger, measurement log) to
+// w — the paper's §3.5 wall-time-limit workflow.
+func (s *Simulator) Save(w io.Writer) error { return s.eng.Save(w) }
+
+// Load restores a checkpoint written by Save. The simulator must have
+// been built with the same qubit count, ranks, and block size; any
+// mismatch, corruption, or undecodable block reports ErrBadCheckpoint
+// without modifying the current state.
+func (s *Simulator) Load(r io.Reader) error {
+	if err := s.eng.Load(r); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	return nil
+}
+
+// MemoryRequirement returns the uncompressed state size in bytes for n
+// qubits: 2^(n+4) (the paper's Table 1 arithmetic).
+func MemoryRequirement(n int) float64 { return core.MemoryRequirement(n) }
+
+// MaxQubitsForMemory returns the largest register a machine with
+// `bytes` of memory can simulate without compression.
+func MaxQubitsForMemory(bytes float64) int { return core.MaxQubitsForMemory(bytes) }
+
+// FidelityBound computes the paper's Eq. 11 lower bound analytically
+// for a sequence of per-gate error bounds (0 = lossless gate).
+func FidelityBound(gateBounds []float64) float64 { return core.FidelityBound(gateBounds) }
+
+// FormatBytes renders a byte count using binary units ("16.0 MB").
+func FormatBytes(b float64) string { return stats.FormatBytes(b) }

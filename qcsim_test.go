@@ -1,0 +1,409 @@
+package qcsim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"qcsim/circuit"
+	"qcsim/internal/core"
+)
+
+// TestOptionRoundTrip checks that every functional option lands in the
+// engine configuration the facade resolves.
+func TestOptionRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  []Option
+		check func(core.Config) bool
+	}{
+		{"WithRanks", []Option{WithRanks(2)}, func(c core.Config) bool { return c.Ranks == 2 }},
+		// Workers are clamped to the per-rank block count, so give the
+		// pool enough blocks to keep the requested width.
+		{"WithWorkers", []Option{WithWorkers(3), WithBlockAmps(64)}, func(c core.Config) bool { return c.Workers == 3 }},
+		{"WithBlockAmps", []Option{WithBlockAmps(128)}, func(c core.Config) bool { return c.BlockAmps == 128 }},
+		{"WithMemoryBudget", []Option{WithMemoryBudget(1 << 20)}, func(c core.Config) bool { return c.MemoryBudget == 1<<20 }},
+		{"WithErrorLevels", []Option{WithErrorLevels(1e-4, 1e-2)}, func(c core.Config) bool {
+			return len(c.ErrorLevels) == 2 && c.ErrorLevels[0] == 1e-4 && c.ErrorLevels[1] == 1e-2
+		}},
+		{"WithCodec", []Option{WithCodec("sz-b")}, func(c core.Config) bool { return c.Lossy != nil && c.Lossy.Name() == "sz-b" }},
+		{"WithCodecAlias", []Option{WithCodec("solution-d")}, func(c core.Config) bool { return c.Lossy != nil && c.Lossy.Name() == "xor-d" }},
+		{"WithCache", []Option{WithCache(8)}, func(c core.Config) bool { return c.CacheLines == 8 }},
+		{"WithSeed", []Option{WithSeed(99)}, func(c core.Config) bool { return c.Seed == 99 }},
+		{"WithGateFusion", []Option{WithGateFusion(true)}, func(c core.Config) bool { return c.FuseGates }},
+		{"WithUncompressed", []Option{WithUncompressed(true)}, func(c core.Config) bool { return c.Uncompressed }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim, err := New(10, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg := sim.eng.Config(); !tc.check(cfg) {
+				t.Fatalf("option did not round-trip into core.Config: %+v", cfg)
+			}
+		})
+	}
+	// WithNoise has no core.Config field (it installs a NoiseModel);
+	// verify the valid range constructs and determinism holds.
+	sim, err := New(6, WithNoise(0.2), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(context.Background(), circuit.GHZ(6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeMatchesCore is the acceptance property: qcsim.New + Run
+// reproduce bit-identical amplitudes, measurement outcomes, and the
+// fidelity ledger versus driving internal/core directly with the same
+// configuration and seed.
+func TestFacadeMatchesCore(t *testing.T) {
+	const n, seed = 10, 12345
+	cir := circuit.RandomCircuit(n, 80, 7)
+	cir.Measure(3)
+	cir.H(0).CNOT(0, 9) // keep evolving the collapsed state
+	req := MemoryRequirement(n)
+	budget := int64(req * 0.25 / 2)
+
+	facade, err := New(n,
+		WithRanks(2), WithBlockAmps(256), WithMemoryBudget(budget),
+		WithCache(16), WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := facade.Run(context.Background(), cir)
+	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal(err)
+	}
+
+	direct, err := core.New(core.Config{
+		Qubits: n, Ranks: 2, BlockAmps: 256, MemoryBudget: budget,
+		CacheLines: 16, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Run(cir); err != nil {
+		t.Fatal(err)
+	}
+
+	fa, err := facade.FullState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := direct.FullState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa {
+		if fa[i] != da[i] {
+			t.Fatalf("amplitude %d diverges: facade %v, core %v", i, fa[i], da[i])
+		}
+	}
+	if got, want := facade.FidelityLowerBound(), direct.FidelityLowerBound(); got != want {
+		t.Fatalf("ledger diverges: facade %v, core %v", got, want)
+	}
+	fm, dm := facade.Measurements(), direct.Measurements()
+	if len(fm) != len(dm) {
+		t.Fatalf("measurement counts diverge: %d vs %d", len(fm), len(dm))
+	}
+	for i := range fm {
+		if fm[i] != dm[i] {
+			t.Fatalf("measurement %d diverges: %d vs %d", i, fm[i], dm[i])
+		}
+	}
+	if res.Gates != direct.GatesRun() {
+		t.Fatalf("gates executed diverge: %d vs %d", res.Gates, direct.GatesRun())
+	}
+}
+
+// TestRunCancellation aborts mid-circuit via the context and checks the
+// run stops between gates with a wrapped context.Canceled, leaving the
+// simulator fully inspectable.
+func TestRunCancellation(t *testing.T) {
+	const n = 12
+	c := circuit.New(n)
+	for i := 0; i < 20; i++ {
+		for q := 0; q < n; q++ {
+			c.H(q)
+		}
+	}
+	total := len(c.Gates)
+
+	sim, err := New(n, WithRanks(2), WithBlockAmps(256), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const stopAfter = 5
+	res, err := sim.RunProgress(ctx, c, func(ev ProgressEvent) {
+		if ev.Gate == stopAfter-1 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned nil result")
+	}
+	if res.Gates < stopAfter || res.Gates >= total {
+		t.Fatalf("executed %d gates, want a strict prefix ≥ %d of %d", res.Gates, stopAfter, total)
+	}
+	if sim.GatesRun() != res.Gates {
+		t.Fatalf("GatesRun %d != result gates %d", sim.GatesRun(), res.Gates)
+	}
+	// The simulator must still be inspectable and normalized.
+	norm, err := sim.Norm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("norm %v after cancellation", norm)
+	}
+	if _, err := sim.Amplitude(0); err != nil {
+		t.Fatal(err)
+	}
+	// And it can finish the remaining gates on a fresh context.
+	rest := &circuit.Circuit{N: n, Gates: c.Gates[res.Gates:]}
+	if _, err := sim.Run(context.Background(), rest); err != nil {
+		t.Fatal(err)
+	}
+	if sim.GatesRun() != total {
+		t.Fatalf("resumed run executed %d total gates, want %d", sim.GatesRun(), total)
+	}
+	// 40 H layers = identity: back to |0...0⟩ up to float error.
+	a0, err := sim.Amplitude(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(a0)-1) > 1e-6 || math.Abs(imag(a0)) > 1e-6 {
+		t.Fatalf("⟨0|ψ⟩ = %v after resumed identity circuit", a0)
+	}
+}
+
+// TestPreCancelledContext: a context cancelled before Run starts must
+// execute zero gates.
+func TestPreCancelledContext(t *testing.T) {
+	sim, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sim.Run(ctx, circuit.GHZ(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res.Gates != 0 || sim.GatesRun() != 0 {
+		t.Fatalf("pre-cancelled run executed %d gates", res.Gates)
+	}
+}
+
+// TestBackgroundContextIdentical: Run with context.Background must be
+// bit-identical to the hook-free engine path (no abort broadcasts).
+func TestBackgroundContextIdentical(t *testing.T) {
+	cir := circuit.RandomCircuit(8, 40, 3)
+	a, err := New(8, WithRanks(2), WithBlockAmps(64), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(context.Background(), cir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.New(core.Config{Qubits: 8, Ranks: 2, BlockAmps: 64, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(cir); err != nil {
+		t.Fatal(err)
+	}
+	av, _ := a.FullState()
+	bv, _ := b.FullState()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("amplitude %d diverges under background context", i)
+		}
+	}
+}
+
+// TestRunProgressEvents checks every gate reports exactly one event in
+// order.
+func TestRunProgressEvents(t *testing.T) {
+	cir := circuit.GHZ(6)
+	sim, err := New(6, WithRanks(2), WithBlockAmps(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []ProgressEvent
+	res, err := sim.RunProgress(context.Background(), cir, func(ev ProgressEvent) {
+		events = append(events, ev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != res.Gates || res.Gates != len(cir.Gates) {
+		t.Fatalf("%d events for %d gates", len(events), res.Gates)
+	}
+	for i, ev := range events {
+		if ev.Gate != i || ev.Total != len(cir.Gates) || ev.Name == "" {
+			t.Fatalf("event %d malformed: %+v", i, ev)
+		}
+	}
+}
+
+// TestBudgetExceeded forces the escalation ladder to exhaust and checks
+// the sentinel plus that the simulator stays inspectable.
+func TestBudgetExceeded(t *testing.T) {
+	sim, err := New(10, WithBlockAmps(64), WithMemoryBudget(1), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(context.Background(), circuit.HadamardAll(10))
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("error %v does not wrap ErrBudgetExceeded", err)
+	}
+	if res == nil || res.Stats.Escalations == 0 || res.FidelityLowerBound >= 1 {
+		t.Fatalf("result does not reflect the lossy run: %+v", res)
+	}
+	norm, err := sim.Norm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loosest bound is 1e-1 pointwise-relative: the norm survives
+	// within that slack.
+	if math.Abs(norm-1) > 0.5 {
+		t.Fatalf("norm %v after over-budget run", norm)
+	}
+}
+
+// TestSnapshotAndResultAgree cross-checks the two inspection surfaces.
+func TestSnapshotAndResultAgree(t *testing.T) {
+	sim, err := New(8, WithRanks(2), WithBlockAmps(32), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.QFT(8, 11)
+	c.Measure(0)
+	res, err := sim.Run(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sim.Snapshot()
+	if snap.GatesRun != res.Gates {
+		t.Fatalf("snapshot gates %d, result %d", snap.GatesRun, res.Gates)
+	}
+	if snap.FidelityLowerBound != res.FidelityLowerBound {
+		t.Fatal("fidelity mismatch between snapshot and result")
+	}
+	if snap.Footprint != res.Footprint {
+		t.Fatal("footprint mismatch between snapshot and result")
+	}
+	if len(snap.Measurements) != 1 || len(res.Measurements) != 1 ||
+		snap.Measurements[0] != res.Measurements[0] {
+		t.Fatalf("measurements diverge: snapshot %v, result %v", snap.Measurements, res.Measurements)
+	}
+	if snap.Qubits != 8 || snap.MaxFootprint == 0 {
+		t.Fatalf("snapshot malformed: %+v", snap)
+	}
+}
+
+// TestSampleSeededDeterministic: Sample uses the simulator's own seeded
+// stream — same seed, same draws; no caller rng anywhere.
+func TestSampleSeededDeterministic(t *testing.T) {
+	draw := func() []uint64 {
+		sim, err := New(8, WithSeed(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(context.Background(), circuit.HadamardAll(8)); err != nil {
+			t.Fatal(err)
+		}
+		out, err := sim.Sample(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverges: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSampleDoesNotPerturbMeasurements: sampling is a pure read — it
+// draws from a dedicated stream, so measurement outcomes after a
+// Sample call match a run that never sampled.
+func TestSampleDoesNotPerturbMeasurements(t *testing.T) {
+	outcomes := func(sample bool) []int {
+		sim, err := New(6, WithSeed(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(context.Background(), circuit.HadamardAll(6)); err != nil {
+			t.Fatal(err)
+		}
+		if sample {
+			if _, err := sim.Sample(32); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := circuit.New(6)
+		for q := 0; q < 6; q++ {
+			c.Measure(q)
+		}
+		res, err := sim.Run(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Measurements
+	}
+	plain, sampled := outcomes(false), outcomes(true)
+	for i := range plain {
+		if plain[i] != sampled[i] {
+			t.Fatalf("measurement %d perturbed by sampling: %d vs %d", i, plain[i], sampled[i])
+		}
+	}
+}
+
+// TestSaveLoadThroughFacade round-trips a checkpoint.
+func TestSaveLoadThroughFacade(t *testing.T) {
+	sim, err := New(8, WithRanks(2), WithBlockAmps(32), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(context.Background(), circuit.QFT(8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sim.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(8, WithRanks(2), WithBlockAmps(32), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sim.FullState()
+	b, _ := restored.FullState()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("amplitude %d diverges after checkpoint round-trip", i)
+		}
+	}
+	if restored.GatesRun() != sim.GatesRun() {
+		t.Fatal("gate counter not restored")
+	}
+}
