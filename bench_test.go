@@ -362,6 +362,70 @@ func BenchmarkWorkerScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepScheduler measures the sweep scheduler on the Grover
+// and QAOA example circuits: sweeps-off reproduces the paper's
+// one-codec-pass-per-gate cost model, sweeps-on batches each run of
+// block-local gates into one pass per block. The amplitudes are
+// bit-identical across each pair; the reported codec-call counts and
+// speedup isolate the removed codec traffic. Only Run is timed.
+func BenchmarkSweepScheduler(b *testing.B) {
+	opt := benchOptions()
+	workloads := []struct {
+		name string
+		cir  *quantum.Circuit
+	}{
+		{"Grover", quantum.Grover(opt.GroverSearch, 0x2D, quantum.GroverOptimalIterations(opt.GroverSearch))},
+		{"QAOA", quantum.QAOA(opt.QAOAQubits[0], 2, 2020)},
+	}
+	for _, wl := range workloads {
+		wl := wl
+		var baseline float64 // sweeps-off run-ns/op, set by the first sub-benchmark
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"off", true}, {"on", false}} {
+			mode := mode
+			b.Run(fmt.Sprintf("%s/sweeps=%s", wl.name, mode.name), func(b *testing.B) {
+				s, err := core.New(core.Config{
+					Qubits: wl.cir.N, Ranks: 1, BlockAmps: opt.BlockAmps,
+					DisableSweeps: mode.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var running time.Duration
+				var base core.Stats // after the final Reset: its per-block compressions only
+				for i := 0; i < b.N; i++ {
+					if err := s.Reset(); err != nil {
+						b.Fatal(err)
+					}
+					base = s.Stats()
+					start := time.Now()
+					if err := s.Run(wl.cir); err != nil {
+						b.Fatal(err)
+					}
+					running += time.Since(start)
+				}
+				// Reset zeroes the rank stats, so st minus the post-Reset
+				// baseline is the final iteration's run-only codec traffic.
+				st := s.Stats()
+				runCalls := st.CompressCalls - base.CompressCalls + st.DecompressCalls - base.DecompressCalls
+				nsPerOp := float64(running.Nanoseconds()) / float64(b.N)
+				b.ReportMetric(nsPerOp, "run-ns/op")
+				b.ReportMetric(float64(runCalls), "codec-calls/op")
+				if mode.disable {
+					baseline = nsPerOp
+				} else {
+					if baseline > 0 {
+						b.ReportMetric(baseline/nsPerOp, "speedup-vs-no-sweeps")
+					}
+					b.ReportMetric(float64(st.CodecPassesSaved), "codec-passes-saved/op")
+				}
+			})
+		}
+	}
+}
+
 // --- Table 2: full benchmark runs ---
 
 func BenchmarkTable2(b *testing.B) {

@@ -20,6 +20,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "export figure data as CSV files into this directory")
 	workers := flag.Int("workers", 0, "worker goroutines per rank in simulator runs (0 = NumCPU/ranks)")
+	sweeps := flag.Bool("sweeps", true, "use the sweep scheduler in simulator runs (off reproduces the paper's one-pass-per-gate cost model)")
 	flag.Parse()
 
 	if *list {
@@ -33,6 +34,7 @@ func main() {
 		opt = bench.Small()
 	}
 	opt.Workers = *workers
+	opt.DisableSweeps = !*sweeps
 	if *csvDir != "" {
 		if err := bench.ExportCSV(*csvDir, opt); err != nil {
 			fmt.Fprintf(os.Stderr, "qcbench: csv export: %v\n", err)

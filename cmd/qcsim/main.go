@@ -44,6 +44,7 @@ func main() {
 		uncomp      = flag.Bool("uncompressed", false, "run the uncompressed baseline")
 		noise       = flag.Float64("noise", 0, "per-gate depolarizing probability")
 		fuse        = flag.Bool("fuse", false, "fuse adjacent single-qubit gates before execution")
+		sweeps      = flag.Bool("sweeps", true, "batch runs of block-local gates into one codec pass per block (off reproduces the paper's one-pass-per-gate cost model)")
 	)
 	flag.Parse()
 
@@ -99,6 +100,7 @@ func main() {
 		qcsim.WithUncompressed(*uncomp),
 		qcsim.WithNoise(*noise),
 		qcsim.WithSeed(*seed),
+		qcsim.WithSweeps(*sweeps),
 	}
 	if *codec != "" {
 		opts = append(opts, qcsim.WithCodec(*codec))
@@ -163,6 +165,10 @@ func main() {
 		res.FidelityLowerBound, st.FinalLevel, st.Escalations)
 	if st.CacheLookups > 0 {
 		fmt.Printf("block cache          %d/%d hits\n", st.CacheHits, st.CacheLookups)
+	}
+	if st.Sweeps > 0 {
+		fmt.Printf("sweep scheduler      %d sweeps over %d gates; %d codec passes saved (%d codec calls total)\n",
+			st.Sweeps, st.SweepGates, st.CodecPassesSaved, st.CompressCalls+st.DecompressCalls)
 	}
 	if ms := sim.Measurements(); len(ms) > 0 {
 		fmt.Printf("measurements         %v\n", ms)

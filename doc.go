@@ -18,10 +18,12 @@
 //	if err != nil { ... }
 //	res, err := sim.Run(ctx, circuit.GHZ(16))
 //
-// Run checks ctx at every gate boundary: cancellation stops execution
-// between gates on every rank with an error wrapping context.Canceled,
-// and the simulator remains fully inspectable over the completed
-// prefix. Errors are typed sentinels (ErrBadConfig, ErrInvalidQubit,
+// Run checks ctx at every sweep boundary (every gate boundary when the
+// sweep scheduler is off): cancellation stops execution between sweeps
+// on every rank with an error wrapping context.Canceled, and the
+// simulator remains fully inspectable over the completed prefix. Codec
+// failures mid-run surface the same way — a wrapped error, never a
+// panic. Errors are typed sentinels (ErrBadConfig, ErrInvalidQubit,
 // ErrBudgetExceeded, ...) usable with errors.Is.
 //
 // The Result of a run — and Snapshot at any time — expose the paper's
@@ -31,6 +33,28 @@
 // ExpectationZ/ZZ, the statistical assertions, and the seeded Sample
 // read the compressed state directly; Save and Load checkpoint the
 // compressed blocks as-is (§3.5).
+//
+// # Sweep scheduler
+//
+// The paper's cost model pays one decompress → apply → recompress pass
+// over every compressed block for every gate. The sweep scheduler (on
+// by default; WithSweeps(false) restores the paper's exact cost model)
+// batches each maximal run of consecutive block-local gates — gates
+// whose target AND controls all address offset bits, i.e. bits inside
+// one block — into a single codec pass per block: decompress once,
+// apply all k unitaries, recompress once. A sweep is broken by a
+// cross-block or cross-rank target, a control outside the offset bits,
+// a measurement, or (with WithNoise) any gate at all, since the
+// depolarizing channel must fire after each gate.
+//
+// Under the lossless codec, sweeps are bit-identical to gate-at-a-time
+// execution for every rank and worker count. Under a lossy memory
+// budget the state sees fewer truncations, and the fidelity ledger
+// charges one (1-δ) factor per sweep — matching the single
+// recompression that actually happened — so the Eq. 11 lower bound only
+// tightens; escalation (§3.7) is likewise decided once per sweep.
+// Stats reports Sweeps, SweepGates, CodecPassesSaved, and the total
+// CompressCalls/DecompressCalls the run issued.
 //
 // # Codec registry
 //

@@ -85,6 +85,13 @@ func TestSentinelErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// The sweep scheduler escalates once per sweep, not per gate, so
+		// one Hadamard layer (a single block-local sweep plus a few
+		// cross-block gates) climbs the ladder without exhausting it; a
+		// second layer runs out of levels and trips the sentinel.
+		if _, err = s.Run(ctx, circuit.HadamardAll(8)); err != nil {
+			t.Fatal(err)
+		}
 		_, err = s.Run(ctx, circuit.HadamardAll(8))
 		mustBe(t, err, ErrBudgetExceeded)
 	})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"encoding/binary"
 	"sync"
 	"sync/atomic"
 )
@@ -57,15 +58,22 @@ func (c *blockCache) enabled() bool {
 	return c != nil && !c.disabled.Load()
 }
 
-// key builds the lookup key from the gate signature, the escalation
-// level, and the raw compressed input blocks (cb2 nil for single-block
-// ops).
+// cacheKey builds the lookup key from the gate (or sweep) signature,
+// the escalation level, and the raw compressed input blocks (cb2 nil
+// for single-block ops). Every variable-length field is length-prefixed:
+// signatures and compressed blobs both legitimately contain zero bytes,
+// so joining them with separator bytes would let distinct
+// (sig, cb1, cb2) triples collide — and a colliding get would silently
+// swap in the wrong compressed output block. The level is encoded in
+// full, not truncated to one byte.
 func cacheKey(sig string, level int, cb1, cb2 []byte) string {
-	b := make([]byte, 0, len(sig)+len(cb1)+len(cb2)+4)
+	b := make([]byte, 0, len(sig)+len(cb1)+len(cb2)+4*binary.MaxVarintLen64)
+	b = binary.AppendUvarint(b, uint64(len(sig)))
 	b = append(b, sig...)
-	b = append(b, 0, byte(level), 0)
+	b = binary.AppendUvarint(b, uint64(level))
+	b = binary.AppendUvarint(b, uint64(len(cb1)))
 	b = append(b, cb1...)
-	b = append(b, 0)
+	b = binary.AppendUvarint(b, uint64(len(cb2)))
 	b = append(b, cb2...)
 	return string(b)
 }

@@ -107,6 +107,60 @@ func TestCacheKeyIncludesLevel(t *testing.T) {
 	}
 }
 
+// TestCacheKeyNoCollisions is the regression test for the separator-byte
+// collision: the old key joined sig/level/cb1/cb2 with single 0x00
+// separators, but signatures and compressed blobs legitimately contain
+// zero bytes, so distinct inputs could produce the same key — and a
+// colliding get would silently return the wrong compressed output
+// block. Every pair below collided (or, for the level rows, truncated
+// to the same byte) under the old scheme; the length-prefixed key must
+// keep them distinct.
+func TestCacheKeyNoCollisions(t *testing.T) {
+	type in struct {
+		sig      string
+		level    int
+		cb1, cb2 []byte
+	}
+	pairs := []struct {
+		name string
+		a, b in
+	}{
+		{
+			// Zero byte migrating across the cb1/cb2 separator.
+			"cb1-cb2 boundary",
+			in{"s", 0, []byte{'A'}, []byte{0, 'B'}},
+			in{"s", 0, []byte{'A', 0}, []byte{'B'}},
+		},
+		{
+			// Zero bytes migrating from cb1 into the signature (both
+			// sides serialize to 73 00 00 00 00 00 61 00 under the old
+			// scheme).
+			"sig-cb1 boundary",
+			in{"s", 0, []byte{0, 0, 'a'}, nil},
+			in{"s\x00\x00", 0, []byte{'a'}, nil},
+		},
+		{
+			// Level truncated to one byte: 256 ≡ 0 (mod 256).
+			"level truncation",
+			in{"s", 0, []byte{'A'}, nil},
+			in{"s", 256, []byte{'A'}, nil},
+		},
+		{
+			// Empty cb2 vs cb2 absorbed into cb1's zero tail.
+			"empty cb2",
+			in{"s", 0, []byte{'A', 0}, nil},
+			in{"s", 0, []byte{'A'}, []byte{}},
+		},
+	}
+	for _, p := range pairs {
+		ka := cacheKey(p.a.sig, p.a.level, p.a.cb1, p.a.cb2)
+		kb := cacheKey(p.b.sig, p.b.level, p.b.cb1, p.b.cb2)
+		if ka == kb {
+			t.Errorf("%s: distinct inputs collide: %+v vs %+v", p.name, p.a, p.b)
+		}
+	}
+}
+
 func TestCacheCopiesValues(t *testing.T) {
 	c := newBlockCache(2)
 	val := []byte{42}

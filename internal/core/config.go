@@ -76,6 +76,16 @@ type Config struct {
 	// decompress/recompress sweeps (and the Eq. 11 ledger charges)
 	// proportionally.
 	FuseGates bool
+	// DisableSweeps turns off the sweep scheduler, which by default
+	// batches maximal runs of consecutive block-local gates (target and
+	// controls all in the offset segment) into one decompress →
+	// apply-all → recompress pass per block. Sweeps are bit-identical to
+	// gate-at-a-time execution under the lossless codec and only tighten
+	// the Eq. 11 ledger under lossy codecs (one recompression — hence
+	// one (1-δ) charge — per sweep instead of per gate). The zero value
+	// leaves sweeps ON; set this only to reproduce the paper's exact
+	// one-pass-per-gate cost model.
+	DisableSweeps bool
 	// Seed drives measurement collapse randomness.
 	Seed int64
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -254,6 +255,7 @@ func (s *Simulator) compose(rank, block, offset int) uint64 {
 // parallel paths, the rank totals on sequential ones.
 func (s *Simulator) compressBlock(level int, scratch []float64, st *Stats) ([]byte, error) {
 	start := time.Now()
+	st.CompressCalls++
 	defer func() { st.CompressTime += time.Since(start) }()
 	if s.cfg.Uncompressed {
 		blob := make([]byte, 1+len(scratch)*8)
@@ -282,6 +284,7 @@ func (s *Simulator) compressBlock(level int, scratch []float64, st *Stats) ([]by
 // timing to st.
 func (s *Simulator) decompressBlock(blob []byte, scratch []float64, st *Stats) error {
 	start := time.Now()
+	st.DecompressCalls++
 	defer func() { st.DecompressTime += time.Since(start) }()
 	if len(blob) == 0 {
 		return fmt.Errorf("core: empty block")
@@ -417,13 +420,14 @@ func (s *Simulator) forBlocks(rs *rankState, fn func(w *workerState, b int) erro
 // at gate boundaries. The zero value disables both hooks, making
 // RunControlled identical to Run.
 type RunControl struct {
-	// PollAbort, when non-nil, is consulted on rank 0 before every gate.
-	// A non-nil return stops execution at that gate boundary on every
-	// rank (the decision is broadcast, so all ranks agree and no
-	// cross-rank exchange is left half-paired) and RunControlled returns
-	// an error wrapping it. Gates already executed are kept: state,
-	// stats, and the fidelity ledger reflect exactly the completed
-	// prefix and the simulator stays fully inspectable.
+	// PollAbort, when non-nil, is consulted on rank 0 before every sweep
+	// (every gate when the sweep scheduler is off). A non-nil return
+	// stops execution at that sweep boundary on every rank (the decision
+	// is broadcast, so all ranks agree and no cross-rank exchange is
+	// left half-paired) and RunControlled returns an error wrapping it.
+	// Gates already executed are kept: state, stats, and the fidelity
+	// ledger reflect exactly the completed prefix and the simulator
+	// stays fully inspectable.
 	PollAbort func() error
 	// OnGate, when non-nil, is invoked on rank 0 after each gate
 	// completes, with the gate's index, the total gate count of this run
@@ -438,10 +442,26 @@ func (s *Simulator) Run(c *quantum.Circuit) error {
 	return s.RunControlled(c, RunControl{})
 }
 
-// RunControlled is Run with gate-boundary hooks: cooperative abort
+// errPeerRankFailed marks a rank that stopped because the sweep error
+// barrier reported a failure on ANOTHER rank; RunControlled prefers the
+// failing rank's real error over this placeholder.
+var errPeerRankFailed = errors.New("core: gate failed on a peer rank")
+
+// RunControlled is Run with sweep-boundary hooks: cooperative abort
 // (PollAbort) and progress reporting (OnGate). With zero hooks the
 // execution path — every collective, every compressed bit — is
 // identical to Run.
+//
+// Execution iterates the sweep schedule: maximal runs of consecutive
+// block-local gates execute through applySweepRank (one codec pass per
+// block for the whole run), everything else gate-at-a-time. After every
+// sweep an error barrier (an allreduce of per-rank failure flags) makes
+// all ranks agree on whether any rank's codec failed, so a failure
+// stops every rank at the same sweep boundary and surfaces as an error
+// — never a panic and never a hung collective. On error the state
+// reflects the completed prefix, except that the failing gate itself
+// may be partially applied on some ranks; the simulator stays
+// inspectable either way.
 func (s *Simulator) RunControlled(c *quantum.Circuit, ctl RunControl) error {
 	if c.N != s.cfg.Qubits {
 		return fmt.Errorf("core: circuit has %d qubits, simulator %d", c.N, s.cfg.Qubits)
@@ -449,8 +469,15 @@ func (s *Simulator) RunControlled(c *quantum.Circuit, ctl RunControl) error {
 	if s.cfg.FuseGates {
 		c = quantum.FuseSingleQubitGates(c)
 	}
+	var plan []quantum.Sweep
+	if s.sweepsEnabled() {
+		plan = quantum.PlanSweeps(c.Gates, s.offsetBits)
+	} else {
+		plan = quantum.SingletonSweeps(c.Gates)
+	}
 	s.gateLevel = make([]uint32, len(c.Gates))
 	measured := make([][]int, s.cfg.Ranks)
+	rankErrs := make([]error, s.cfg.Ranks)
 	// abortErr and executed are written only by the rank-0 goroutine and
 	// read after mpi.Run's WaitGroup establishes happens-before.
 	var abortErr error
@@ -458,10 +485,10 @@ func (s *Simulator) RunControlled(c *quantum.Circuit, ctl RunControl) error {
 	comms, err := mpi.Run(s.cfg.Ranks, func(comm *mpi.Comm) {
 		rs := s.ranks[comm.Rank()]
 		ran := 0
-		for gi, g := range c.Gates {
+		for _, sw := range plan {
 			if ctl.PollAbort != nil {
 				// Rank 0 decides; the broadcast makes every rank stop at
-				// the same gate boundary (a rank aborting unilaterally
+				// the same sweep boundary (a rank aborting unilaterally
 				// would strand its cross-rank partners mid-exchange).
 				var stop float64
 				if comm.Rank() == 0 {
@@ -474,22 +501,63 @@ func (s *Simulator) RunControlled(c *quantum.Circuit, ctl RunControl) error {
 					break
 				}
 			}
-			if g.Kind == quantum.KindMeasure {
-				out := s.measureRank(comm, rs, g.Target, gi)
-				if comm.Rank() == 0 {
-					measured[0] = append(measured[0], out)
-				}
+			var swErr error
+			var swMeasured []int // outcomes held back until the barrier clears
+			if sw.Local {
+				swErr = s.applySweepRank(rs, c.Gates[sw.Start:sw.End], sw.End-1)
 			} else {
-				if err := s.applyGateRank(comm, rs, g, gi); err != nil {
-					panic(err)
-				}
-				if s.noise != nil {
-					s.applyNoiseRank(comm, rs, g, gi)
+				for gi := sw.Start; gi < sw.End && swErr == nil; gi++ {
+					g := c.Gates[gi]
+					if g.Kind == quantum.KindMeasure {
+						out, merr := s.measureRank(comm, rs, g.Target, gi)
+						if merr != nil {
+							swErr = merr
+						} else if comm.Rank() == 0 {
+							swMeasured = append(swMeasured, out)
+						}
+					} else {
+						swErr = s.applyGateRank(comm, rs, g, gi)
+						if s.noise != nil {
+							// The noise Pauli may be a cross-rank gate, so a
+							// rank that failed the unitary cannot just skip
+							// it: agree on failure first, then either all
+							// ranks apply noise or none do.
+							var flag float64
+							if swErr != nil {
+								flag = 1
+							}
+							if comm.AllreduceSum(flag) != 0 {
+								if swErr == nil {
+									swErr = errPeerRankFailed
+								}
+							} else {
+								swErr = s.applyNoiseRank(comm, rs, g, gi)
+							}
+						}
+					}
 				}
 			}
-			ran++
-			if comm.Rank() == 0 && ctl.OnGate != nil {
-				ctl.OnGate(gi, len(c.Gates), g)
+			// Error barrier: every rank learns whether any rank failed
+			// this sweep, so all stop at the same boundary.
+			var flag float64
+			if swErr != nil {
+				flag = 1
+			}
+			if comm.AllreduceSum(flag) != 0 {
+				if swErr == nil {
+					swErr = errPeerRankFailed
+				}
+				rankErrs[comm.Rank()] = swErr
+				break
+			}
+			ran += sw.Len()
+			if comm.Rank() == 0 {
+				measured[0] = append(measured[0], swMeasured...)
+				if ctl.OnGate != nil {
+					for gi := sw.Start; gi < sw.End; gi++ {
+						ctl.OnGate(gi, len(c.Gates), c.Gates[gi])
+					}
+				}
 			}
 		}
 		rs.stats.Gates += ran
@@ -506,15 +574,26 @@ func (s *Simulator) RunControlled(c *quantum.Circuit, ctl RunControl) error {
 	}
 	s.measurements = append(s.measurements, measured[0]...)
 	// Fold per-gate max levels into the ledger (Eq. 11). Gates past an
-	// abort boundary were never executed, so their entries are still 0.
+	// abort boundary were never executed, so their entries are still 0;
+	// a k-gate sweep recompresses once and charges one factor, at its
+	// last gate's index.
 	for _, lvl := range s.gateLevel {
 		if lvl > 0 {
 			s.ledger *= 1 - s.cfg.ErrorLevels[lvl-1]
 		}
 	}
 	s.gatesRun += executed
+	var gateErr error
+	for _, e := range rankErrs {
+		if e != nil && (gateErr == nil || errors.Is(gateErr, errPeerRankFailed)) {
+			gateErr = e
+		}
+	}
 	if abortErr != nil {
 		return fmt.Errorf("core: run aborted after %d of %d gates: %w", executed, len(c.Gates), abortErr)
+	}
+	if gateErr != nil {
+		return fmt.Errorf("core: run failed after %d of %d gates: %w", executed, len(c.Gates), gateErr)
 	}
 	return nil
 }
@@ -556,17 +635,16 @@ func (s *Simulator) applyGateRank(comm *mpi.Comm, rs *rankState, g quantum.Gate,
 	}
 }
 
-// applyLocal handles targets inside the offset segment: both amplitudes
-// of every pair live in the same block, so the block loop fans out
-// across the worker pool with no cross-worker data dependencies.
-func (s *Simulator) applyLocal(rs *rankState, g quantum.Gate, gi int, offCtrl uint64, blkCtrl int) error {
-	tMask := 1 << uint(g.Target)
-	lvl := rs.level
-	sig := g.Signature()
-	ba := s.blockAmps()
-	err := s.forBlocks(rs, func(w *workerState, b int) error {
+// runBlockPass fans one decompress → apply → recompress pass over the
+// rank's blocks on the worker pool, with the §3.4 cache keyed on sig
+// (single-block entries). Blocks failing the blkCtrl mask are untouched
+// (§3.3: whole block unmodified); passesSaved is credited per block
+// actually run through the codec — the sweep path's k-1 elided round
+// trips, 0 for single-gate passes.
+func (s *Simulator) runBlockPass(rs *rankState, sig string, lvl, blkCtrl int, passesSaved int64, apply func(x []float64)) error {
+	return s.forBlocks(rs, func(w *workerState, b int) error {
 		if b&blkCtrl != blkCtrl {
-			return nil // §3.3: whole block unmodified
+			return nil
 		}
 		key := ""
 		if rs.cache.enabled() {
@@ -583,15 +661,7 @@ func (s *Simulator) applyLocal(rs *rankState, g quantum.Gate, gi int, offCtrl ui
 			return err
 		}
 		start := time.Now()
-		x := w.x
-		for base := 0; base < ba; base += tMask << 1 {
-			for o := base; o < base+tMask; o++ {
-				if uint64(o)&offCtrl != offCtrl {
-					continue
-				}
-				applyPair(g.U, x, o, o|tMask)
-			}
-		}
+		apply(w.x)
 		w.stats.ComputeTime += time.Since(start)
 		blob, err := s.compressBlock(lvl, w.x, &w.stats)
 		if err != nil {
@@ -601,7 +671,27 @@ func (s *Simulator) applyLocal(rs *rankState, g quantum.Gate, gi int, offCtrl ui
 		if key != "" {
 			rs.cache.put(key, blob, nil)
 		}
+		w.stats.CodecPassesSaved += passesSaved
 		return nil
+	})
+}
+
+// applyLocal handles targets inside the offset segment: both amplitudes
+// of every pair live in the same block, so the block loop fans out
+// across the worker pool with no cross-worker data dependencies.
+func (s *Simulator) applyLocal(rs *rankState, g quantum.Gate, gi int, offCtrl uint64, blkCtrl int) error {
+	tMask := 1 << uint(g.Target)
+	lvl := rs.level
+	ba := s.blockAmps()
+	err := s.runBlockPass(rs, g.Signature(), lvl, blkCtrl, 0, func(x []float64) {
+		for base := 0; base < ba; base += tMask << 1 {
+			for o := base; o < base+tMask; o++ {
+				if uint64(o)&offCtrl != offCtrl {
+					continue
+				}
+				applyPair(g.U, x, o, o|tMask)
+			}
+		}
 	})
 	if err != nil {
 		return err
@@ -679,7 +769,12 @@ func (s *Simulator) applyCrossBlock(rs *rankState, g quantum.Gate, gi int, offCt
 // two ranks and are exchanged (§3.3 third case). The loop stays
 // sequential — the pairwise SendRecv protocol requires both ranks to
 // walk their blocks in the same order, and the exchange, not the
-// compute, dominates here.
+// compute, dominates here. A codec failure must NOT bail out mid-loop:
+// the peer would block forever in SendRecv while this rank sat at the
+// sweep error barrier. Instead the rank keeps the exchange protocol
+// alive for the remaining blocks (sending whatever is in scratch),
+// skips the now-pointless codec and compute work, and reports the
+// first error at the gate boundary, where the barrier stops all ranks.
 func (s *Simulator) applyCrossRank(comm *mpi.Comm, rs *rankState, g quantum.Gate, gi int, offCtrl uint64, blkCtrl int) error {
 	tr := 1 << uint(g.Target-s.offsetBits-s.blockBits)
 	peer := rs.id ^ tr
@@ -687,14 +782,20 @@ func (s *Simulator) applyCrossRank(comm *mpi.Comm, rs *rankState, g quantum.Gate
 	lvl := rs.level
 	nb := s.blocksPerRank()
 	w := rs.w0()
+	var firstErr error
 	for b := 0; b < nb; b++ {
 		if b&blkCtrl != blkCtrl {
 			continue
 		}
-		if err := s.decompressBlock(rs.blocks[b], w.x, &rs.stats); err != nil {
-			return err
+		if firstErr == nil {
+			if err := s.decompressBlock(rs.blocks[b], w.x, &rs.stats); err != nil {
+				firstErr = err
+			}
 		}
 		comm.SendRecv(peer, w.x, w.y)
+		if firstErr != nil {
+			continue
+		}
 		start := time.Now()
 		x, y := w.x, w.y
 		ba := s.blockAmps()
@@ -719,9 +820,13 @@ func (s *Simulator) applyCrossRank(comm *mpi.Comm, rs *rankState, g quantum.Gate
 		rs.stats.ComputeTime += time.Since(start)
 		blob, err := s.compressBlock(lvl, w.x, &rs.stats)
 		if err != nil {
-			return err
+			firstErr = err
+			continue
 		}
 		s.updateBlock(rs, b, blob)
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	s.noteLevel(rs, gi, lvl)
 	s.maybeEscalate(rs)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -15,7 +16,15 @@ import (
 // pool; the probability reduction keeps per-block partials and sums
 // them in block order, so the drawn outcome is bit-identical for every
 // worker count.
-func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) int {
+//
+// Codec failures are returned, not panicked: a decompression error in
+// the probability phase is agreed on collectively (an error-flag
+// allreduce keeps every rank's collective sequence aligned) BEFORE the
+// outcome is drawn, so no rank collapses anything and the
+// pre-measurement state stays fully inspectable. A failure in the
+// collapse phase is returned to RunControlled, whose sweep error
+// barrier stops all ranks at the gate boundary.
+func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) (int, error) {
 	qInOffset := q < s.offsetBits
 	qInBlock := !qInOffset && q < s.offsetBits+s.blockBits
 	var offMask uint64
@@ -33,8 +42,9 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) int {
 
 	// Phase 1: partial probability of reading |1⟩, one slot per block.
 	partials := make([]float64, s.blocksPerRank())
+	var phase1Err error
 	if rankMask == 0 || rs.id&rankMask != 0 {
-		err := s.forBlocks(rs, func(w *workerState, b int) error {
+		phase1Err = s.forBlocks(rs, func(w *workerState, b int) error {
 			if blkMask != 0 && b&blkMask == 0 {
 				return nil // whole block has q=0
 			}
@@ -54,9 +64,20 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) int {
 			w.stats.ComputeTime += time.Since(start)
 			return nil
 		})
-		if err != nil {
-			panic(err)
+	}
+	// Agree on phase-1 failure before any collective consumes data and
+	// before the outcome is drawn: every rank runs the same collective
+	// sequence whether or not its own blocks decoded, and on failure all
+	// ranks return together with the state untouched.
+	var errFlag float64
+	if phase1Err != nil {
+		errFlag = 1
+	}
+	if comm.AllreduceSum(errFlag) != 0 {
+		if phase1Err != nil {
+			return 0, fmt.Errorf("core: measure qubit %d: %w", q, phase1Err)
 		}
+		return 0, errPeerRankFailed
 	}
 	var p1 float64
 	for _, p := range partials {
@@ -138,11 +159,11 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) int {
 		return nil
 	})
 	if err != nil {
-		panic(err)
+		return 0, fmt.Errorf("core: collapse after measuring qubit %d: %w", q, err)
 	}
 	s.noteLevel(rs, gi, lvl)
 	s.maybeEscalate(rs)
-	return outcome
+	return outcome, nil
 }
 
 // Measurements returns the outcomes of every measurement gate executed

@@ -34,12 +34,14 @@ func (s *Simulator) SetNoise(m *NoiseModel) error {
 // keeping the streams aligned. The draws happen here, before any block
 // fan-out, and the Pauli application goes through the same worker-pool
 // gate path as ordinary gates — no randomness is ever consumed inside a
-// worker, which is what keeps the trajectory independent of Workers.
-func (s *Simulator) applyNoiseRank(comm *mpi.Comm, rs *rankState, g quantum.Gate, gi int) {
+// worker, which is what keeps the trajectory independent of Workers. A
+// codec failure propagates to RunControlled's sweep error barrier like
+// any other gate error.
+func (s *Simulator) applyNoiseRank(comm *mpi.Comm, rs *rankState, g quantum.Gate, gi int) error {
 	u := rs.rng.Float64()
 	pick := rs.rng.Intn(3)
 	if u >= s.noise.Prob {
-		return
+		return nil
 	}
 	var pauli quantum.Gate
 	switch pick {
@@ -50,7 +52,5 @@ func (s *Simulator) applyNoiseRank(comm *mpi.Comm, rs *rankState, g quantum.Gate
 	default:
 		pauli = quantum.Gate{Name: "noise-z", Target: g.Target, U: quantum.MatZ}
 	}
-	if err := s.applyGateRank(comm, rs, pauli, gi); err != nil {
-		panic(err)
-	}
+	return s.applyGateRank(comm, rs, pauli, gi)
 }

@@ -19,6 +19,21 @@ type Stats struct {
 	CacheLookups int64
 	CacheHits    int64
 
+	// Codec traffic: how many block encode/decode calls the engine
+	// issued (cache hits and control-skipped blocks issue none). The
+	// sweep scheduler exists to shrink these.
+	CompressCalls   int64
+	DecompressCalls int64
+
+	// Sweep scheduler behaviour. Sweeps counts block-local sweeps
+	// executed through the batched path and SweepGates the gates they
+	// covered; CodecPassesSaved is the number of per-block
+	// decompress+recompress round trips avoided versus gate-at-a-time
+	// execution (k-1 per block actually processed in a k-gate sweep).
+	Sweeps           int
+	SweepGates       int
+	CodecPassesSaved int64
+
 	// Footprint accounting. CurrentFootprint is Σ len(compressed
 	// block); MaxFootprint is its high-water mark, from which the
 	// minimum compression ratio of Table 2 derives.
@@ -49,6 +64,17 @@ func (s Stats) Add(o Stats) Stats {
 	}
 	s.CacheLookups += o.CacheLookups
 	s.CacheHits += o.CacheHits
+	s.CompressCalls += o.CompressCalls
+	s.DecompressCalls += o.DecompressCalls
+	// Like Gates: every rank executes the same sweep schedule, so the
+	// aggregate reports the schedule, not ranks × schedule.
+	if o.Sweeps > s.Sweeps {
+		s.Sweeps = o.Sweeps
+	}
+	if o.SweepGates > s.SweepGates {
+		s.SweepGates = o.SweepGates
+	}
+	s.CodecPassesSaved += o.CodecPassesSaved
 	s.CurrentFootprint += o.CurrentFootprint
 	s.MaxFootprint += o.MaxFootprint
 	if o.FinalLevel > s.FinalLevel {
@@ -68,6 +94,9 @@ func (s *Stats) addShard(o Stats) {
 	s.ComputeTime += o.ComputeTime
 	s.CacheLookups += o.CacheLookups
 	s.CacheHits += o.CacheHits
+	s.CompressCalls += o.CompressCalls
+	s.DecompressCalls += o.DecompressCalls
+	s.CodecPassesSaved += o.CodecPassesSaved
 }
 
 // MinCompressionRatio returns uncompressed-state-bytes / peak-footprint,

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"compress/flate"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"qcsim/internal/compress"
+	"qcsim/internal/compress/lossless"
+	"qcsim/internal/quantum"
+)
+
+// workingLossless returns the default level-0 codec for tests that wrap
+// it in a failure-injecting shim (Config hooks run before withDefaults,
+// so Config.Lossless is still nil inside newSim's extra func).
+func workingLossless() compress.Codec { return lossless.New(flate.BestSpeed, false) }
+
+// runSweepPair executes the same circuit on two identically configured
+// simulators, one with the sweep scheduler and one without, and returns
+// both for inspection.
+func runSweepPair(t *testing.T, cir *quantum.Circuit, ranks, blockAmps, workers int, extra func(*Config)) (on, off *Simulator) {
+	t.Helper()
+	mk := func(disable bool) *Simulator {
+		return newSim(t, cir.N, ranks, blockAmps, func(c *Config) {
+			c.Workers = workers
+			c.DisableSweeps = disable
+			if extra != nil {
+				extra(c)
+			}
+		})
+	}
+	on, off = mk(false), mk(true)
+	if err := on.Run(cir); err != nil {
+		t.Fatalf("sweeps-on run: %v", err)
+	}
+	if err := off.Run(cir); err != nil {
+		t.Fatalf("sweeps-off run: %v", err)
+	}
+	return on, off
+}
+
+// assertBitIdentical compares full states, measurement logs, and (when
+// checkLedger) the fidelity ledgers of two simulators bit-for-bit.
+func assertBitIdentical(t *testing.T, a, b *Simulator, label string) {
+	t.Helper()
+	sa, err := a.FullState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.FullState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("%s: amplitude %d differs: %v vs %v", label, i, sa[i], sb[i])
+		}
+	}
+	ma, mb := a.Measurements(), b.Measurements()
+	if len(ma) != len(mb) {
+		t.Fatalf("%s: measurement counts differ: %v vs %v", label, ma, mb)
+	}
+	for i := range ma {
+		if ma[i] != mb[i] {
+			t.Fatalf("%s: measurement %d differs: %v vs %v", label, i, ma, mb)
+		}
+	}
+}
+
+// TestQuickSweepsBitIdentical is the sweep scheduler's master property:
+// for ANY circuit (including intermediate measurements and controlled
+// gates), ANY geometry, and ANY worker count, batched sweeps and
+// gate-at-a-time execution produce bit-identical amplitudes,
+// measurement outcomes, and ledgers under the lossless codec. Run under
+// -race in CI, this doubles as the data-race check on the sweep
+// executor's worker fan-out.
+func TestQuickSweepsBitIdentical(t *testing.T) {
+	f := func(seed int64, geomSel, workerSel, gateCount uint8) bool {
+		qubits := 7
+		geoms := []struct{ ranks, block int }{
+			{1, 128}, {1, 16}, {2, 16}, {4, 8}, {2, 64},
+		}
+		g := geoms[int(geomSel)%len(geoms)]
+		workers := 1 + int(workerSel)%4
+		gates := 20 + int(gateCount)%60
+		cir := quantum.RandomCircuit(qubits, gates, seed)
+		cir.Measure(int(uint64(seed) % uint64(qubits)))
+		on, off := runSweepPair(t, cir, g.ranks, g.block, workers, nil)
+		assertBitIdentical(t, on, off, "sweeps on/off")
+		if on.FidelityLowerBound() != off.FidelityLowerBound() {
+			t.Logf("seed %d: lossless ledgers differ: %v vs %v", seed, on.FidelityLowerBound(), off.FidelityLowerBound())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepsBitIdenticalWithCache: the sweep-keyed block cache must not
+// change any bits either.
+func TestSweepsBitIdenticalWithCache(t *testing.T) {
+	cir := quantum.Grover(5, 11, 2)
+	on, off := runSweepPair(t, cir, 2, 8, 2, func(c *Config) { c.CacheLines = 64 })
+	assertBitIdentical(t, on, off, "sweeps on/off with cache")
+	if on.Stats().CacheLookups == 0 {
+		t.Fatal("sweep path never consulted the cache")
+	}
+}
+
+// TestSweepCodecReductionGrover is the ISSUE acceptance criterion: on
+// the Grover example circuit the sweep scheduler must cut codec
+// invocations at least 2× versus gate-at-a-time execution while
+// producing bit-identical amplitudes under the lossless codec.
+func TestSweepCodecReductionGrover(t *testing.T) {
+	// The examples/grover workload at test scale: a real register plus
+	// Toffoli-ladder ancillas, several amplification iterations.
+	cir := quantum.Grover(6, 0x2D, quantum.GroverOptimalIterations(6))
+	on, off := runSweepPair(t, cir, 1, 64, 2, nil)
+	assertBitIdentical(t, on, off, "grover")
+
+	stOn, stOff := on.Stats(), off.Stats()
+	callsOn := stOn.CompressCalls + stOn.DecompressCalls
+	callsOff := stOff.CompressCalls + stOff.DecompressCalls
+	if callsOn == 0 || callsOff == 0 {
+		t.Fatalf("codec call counters not tracked: on=%d off=%d", callsOn, callsOff)
+	}
+	if ratio := float64(callsOff) / float64(callsOn); ratio < 2 {
+		t.Fatalf("sweeps reduced codec invocations only %.2fx (%d -> %d), want >= 2x", ratio, callsOff, callsOn)
+	}
+	if stOn.Sweeps == 0 || stOn.SweepGates <= stOn.Sweeps {
+		t.Fatalf("sweep counters implausible: %d sweeps over %d gates", stOn.Sweeps, stOn.SweepGates)
+	}
+	if stOn.CodecPassesSaved == 0 {
+		t.Fatal("no codec passes recorded as saved")
+	}
+	if stOff.Sweeps != 0 || stOff.CodecPassesSaved != 0 {
+		t.Fatalf("sweeps-off run recorded sweep activity: %+v", stOff)
+	}
+	t.Logf("grover: %d codec calls gate-at-a-time, %d with sweeps (%.1fx), %d sweeps / %d gates, %d passes saved",
+		callsOff, callsOn, float64(callsOff)/float64(callsOn), stOn.Sweeps, stOn.SweepGates, stOn.CodecPassesSaved)
+}
+
+// TestSweepLedgerTightens: under a lossy budget, one recompression per
+// sweep means one (1-δ) ledger charge per sweep — the Eq. 11 bound must
+// never be looser than gate-at-a-time's.
+func TestSweepLedgerTightens(t *testing.T) {
+	cir := quantum.QAOA(10, 2, 7)
+	on, off := runSweepPair(t, cir, 2, 16, 2, func(c *Config) { c.MemoryBudget = 2048 })
+	lOn, lOff := on.FidelityLowerBound(), off.FidelityLowerBound()
+	if lOff >= 1 {
+		t.Fatalf("budget never forced lossy compression (ledger %v); test is vacuous", lOff)
+	}
+	if lOn < lOff {
+		t.Fatalf("sweeps loosened the fidelity bound: %v < %v", lOn, lOff)
+	}
+}
+
+// TestSweepsDisabledByNoise: a noise channel must force gate-at-a-time
+// execution (the depolarizing draw fires after every gate).
+func TestSweepsDisabledByNoise(t *testing.T) {
+	s := newSim(t, 6, 1, 16, nil)
+	if err := s.SetNoise(&NoiseModel{Prob: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(quantum.NewCircuit(6).H(0).H(1).H(2)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Sweeps != 0 {
+		t.Fatalf("noisy run still used the sweep path: %+v", st)
+	}
+}
+
+// --- measurement error propagation (the second ISSUE bugfix) ---
+
+// decompressFailCodec wraps a working codec but fails every Decompress,
+// so construction (compress-only) succeeds and the first decode — e.g.
+// a measurement's probability sweep — fails.
+type decompressFailCodec struct{ compress.Codec }
+
+func (decompressFailCodec) Decompress([]float64, []byte) error {
+	return compress.ErrCorrupt
+}
+
+// compressFailAfterCodec works for the first n Compress calls (enough
+// to survive Reset) and then fails, reaching the collapse phase of a
+// measurement. The counter is atomic: compression runs on worker
+// goroutines.
+type compressFailAfterCodec struct {
+	compress.Codec
+	n *int64
+}
+
+func (c compressFailAfterCodec) Compress(dst []byte, data []float64, opt compress.Options) ([]byte, error) {
+	if atomic.AddInt64(c.n, -1) < 0 {
+		return nil, compress.ErrCorrupt
+	}
+	return c.Codec.Compress(dst, data, opt)
+}
+
+func TestMeasurementDecompressFailureIsWrappedError(t *testing.T) {
+	for _, ranks := range []int{1, 2} {
+		s := newSim(t, 6, ranks, 8, func(c *Config) {
+			c.Lossless = decompressFailCodec{workingLossless()}
+			c.Workers = 2
+		})
+		// New succeeds (Reset only compresses); the measurement is the
+		// first gate, so its probability sweep hits the failing decode.
+		err := s.Run(quantum.NewCircuit(6).Measure(0))
+		if err == nil {
+			t.Fatalf("ranks=%d: measurement over failing codec succeeded", ranks)
+		}
+		if !errors.Is(err, compress.ErrCorrupt) {
+			t.Fatalf("ranks=%d: error does not wrap the codec error: %v", ranks, err)
+		}
+		if !strings.Contains(err.Error(), "measure qubit 0") {
+			t.Fatalf("ranks=%d: error lacks measurement context: %v", ranks, err)
+		}
+		// The failure was agreed before the outcome draw: nothing
+		// collapsed, nothing recorded, and the simulator still answers.
+		if got := s.Measurements(); len(got) != 0 {
+			t.Fatalf("ranks=%d: failed measurement recorded an outcome: %v", ranks, got)
+		}
+		if s.GatesRun() != 0 {
+			t.Fatalf("ranks=%d: failed gate counted as executed", ranks)
+		}
+	}
+}
+
+func TestMeasurementCollapseFailureIsWrappedError(t *testing.T) {
+	// Budget the codec so Reset's initial block compressions succeed and
+	// the next compression — the collapse after the measurement — fails.
+	calls := int64(1 << 10) // plenty for New's Reset
+	sim := newSim(t, 5, 1, 8, func(c *Config) {
+		c.Lossless = compressFailAfterCodec{workingLossless(), &calls}
+	})
+	atomic.StoreInt64(&calls, 0) // exhausted: the very next compress fails
+	err := sim.Run(quantum.NewCircuit(5).Measure(1))
+	if err == nil {
+		t.Fatal("collapse over failing codec succeeded")
+	}
+	if !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("error does not wrap the codec error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "collapse") {
+		t.Fatalf("error lacks collapse context: %v", err)
+	}
+}
+
+// TestUnitaryCodecFailureReturnsError: the same no-panic contract on
+// the unitary paths, including the cross-rank exchange, which must keep
+// its SendRecv protocol alive on error instead of deadlocking peers.
+func TestUnitaryCodecFailureReturnsError(t *testing.T) {
+	// 6 qubits, 4 ranks, blockAmps 4: qubit 5 lives in the rank segment,
+	// so H(5) is a cross-rank exchange over a failing decompressor.
+	s := newSim(t, 6, 4, 4, func(c *Config) {
+		c.Lossless = decompressFailCodec{workingLossless()}
+	})
+	err := s.Run(quantum.NewCircuit(6).H(5))
+	if err == nil {
+		t.Fatal("cross-rank gate over failing codec succeeded")
+	}
+	if !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("error does not wrap the codec error: %v", err)
+	}
+	// Local path too.
+	s2 := newSim(t, 6, 1, 8, func(c *Config) {
+		c.Lossless = decompressFailCodec{workingLossless()}
+	})
+	if err := s2.Run(quantum.NewCircuit(6).H(0)); err == nil || !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("local gate error not propagated: %v", err)
+	}
+}

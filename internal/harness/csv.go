@@ -167,6 +167,32 @@ func ExportCSV(dir string, opt Options) error {
 	}); err != nil {
 		return err
 	}
+	sweep, err := SweepResults(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("sweep_codec_reduction.csv", func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"benchmark", "qubits", "gates", "codec_calls_off",
+			"codec_calls_on", "reduction", "sweeps", "sweep_gates", "passes_saved",
+			"elapsed_off_seconds", "elapsed_on_seconds"}); err != nil {
+			return err
+		}
+		for _, r := range sweep {
+			rec := []string{r.Benchmark, strconv.Itoa(r.Qubits), strconv.Itoa(r.Gates),
+				strconv.FormatInt(r.CodecCallsOff, 10), strconv.FormatInt(r.CodecCallsOn, 10),
+				fmtF(r.Reduction), strconv.Itoa(r.Sweeps), strconv.Itoa(r.SweepGates),
+				strconv.FormatInt(r.PassesSaved, 10),
+				fmtF(r.ElapsedOff.Seconds()), fmtF(r.ElapsedOn.Seconds())}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}); err != nil {
+		return err
+	}
 	// Fig. 6 is closed-form; export the curves too.
 	return write("fig6_fidelity_bounds.csv", func(w io.Writer) error {
 		cw := csv.NewWriter(w)

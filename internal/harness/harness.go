@@ -49,6 +49,10 @@ type Options struct {
 	// (the intra-rank analog of Fig. 16; the paper runs 64 OpenMP
 	// threads per MPI rank).
 	MaxWorkers int
+	// DisableSweeps turns the sweep scheduler off in simulator runs,
+	// reproducing the paper's one-codec-pass-per-gate cost model (the
+	// "sweep" experiment compares both modes regardless).
+	DisableSweeps bool
 }
 
 // Default returns the committed experiment scale.
@@ -117,6 +121,7 @@ func Experiments() []Experiment {
 		{"fig15", "Fig. 15: single-node execution time vs qubit count", runFig15},
 		{"fig16", "Fig. 16: strong scaling of a Hadamard layer", runFig16},
 		{"fig16w", "Fig. 16b: intra-rank worker-pool scaling (paper: OpenMP threads per rank)", runFig16Workers},
+		{"sweep", "Sweep scheduler: codec passes per run of block-local gates (Grover, QAOA)", runSweep},
 		{"table2", "Table 2: full benchmark results with time breakdown", runTable2},
 	}
 }

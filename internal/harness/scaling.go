@@ -79,7 +79,7 @@ func Fig5Results(opt Options) ([]Fig5Config, error) {
 		maxRanks = 1 << uint(opt.Fig5Qubits-3)
 	}
 	for ranks := 1; ranks <= maxRanks; ranks *= 2 {
-		s, err := core.New(core.Config{Qubits: opt.Fig5Qubits, Ranks: ranks, BlockAmps: opt.BlockAmps, Workers: rankSweepWorkers(opt), Seed: 1})
+		s, err := core.New(core.Config{Qubits: opt.Fig5Qubits, Ranks: ranks, BlockAmps: opt.BlockAmps, Workers: rankSweepWorkers(opt), Seed: 1, DisableSweeps: opt.DisableSweeps})
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +148,7 @@ type Fig15Point struct {
 func Fig15Results(opt Options) ([]Fig15Point, error) {
 	var out []Fig15Point
 	for n := opt.Fig15MinQubits; n <= opt.Fig15MaxQubits; n++ {
-		s, err := core.New(core.Config{Qubits: n, Ranks: 1, BlockAmps: opt.BlockAmps, Workers: opt.Workers, Seed: 1})
+		s, err := core.New(core.Config{Qubits: n, Ranks: 1, BlockAmps: opt.BlockAmps, Workers: opt.Workers, Seed: 1, DisableSweeps: opt.DisableSweeps})
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +192,7 @@ func Fig16Results(opt Options) ([]Fig16Point, error) {
 	cir := quantum.HadamardAll(opt.Fig16Qubits)
 	var out []Fig16Point
 	for ranks := 1; ranks <= opt.Fig16MaxRanks; ranks *= 2 {
-		s, err := core.New(core.Config{Qubits: opt.Fig16Qubits, Ranks: ranks, BlockAmps: opt.BlockAmps, Workers: rankSweepWorkers(opt), Seed: 1})
+		s, err := core.New(core.Config{Qubits: opt.Fig16Qubits, Ranks: ranks, BlockAmps: opt.BlockAmps, Workers: rankSweepWorkers(opt), Seed: 1, DisableSweeps: opt.DisableSweeps})
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +244,7 @@ func WorkerScalingResults(opt Options) ([]WorkerScalingPoint, error) {
 	}
 	var out []WorkerScalingPoint
 	for workers := 1; workers <= maxW; workers *= 2 {
-		s, err := core.New(core.Config{Qubits: opt.Fig16Qubits, Ranks: 1, BlockAmps: opt.BlockAmps, Workers: workers, Seed: 1})
+		s, err := core.New(core.Config{Qubits: opt.Fig16Qubits, Ranks: 1, BlockAmps: opt.BlockAmps, Workers: workers, Seed: 1, DisableSweeps: opt.DisableSweeps})
 		if err != nil {
 			return nil, err
 		}

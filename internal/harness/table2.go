@@ -92,13 +92,14 @@ func runTable2Benchmark(name string, cir *quantum.Circuit, budgetFrac float64, o
 		perRank = int64(req * budgetFrac / float64(ranks))
 	}
 	s, err := core.New(core.Config{
-		Qubits:       cir.N,
-		Ranks:        ranks,
-		BlockAmps:    opt.BlockAmps,
-		MemoryBudget: perRank,
-		CacheLines:   64,
-		Workers:      opt.Workers,
-		Seed:         7,
+		Qubits:        cir.N,
+		Ranks:         ranks,
+		BlockAmps:     opt.BlockAmps,
+		MemoryBudget:  perRank,
+		CacheLines:    64,
+		Workers:       opt.Workers,
+		Seed:          7,
+		DisableSweeps: opt.DisableSweeps,
 	})
 	if err != nil {
 		return Table2Row{}, err

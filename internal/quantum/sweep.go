@@ -1,0 +1,91 @@
+package quantum
+
+import "encoding/binary"
+
+// Sweep is one schedule unit of the sweep scheduler: a half-open gate
+// range [Start, End) of a circuit. When Local is true, every gate in the
+// range is block-local with respect to the offset-bit count the plan was
+// built for — its target AND all of its controls address offset bits —
+// so the whole run can be executed with a single decompress → apply-k-
+// gates → recompress pass over each compressed block instead of one pass
+// per gate. Non-local gates (cross-block or cross-rank targets, controls
+// outside the offset segment, measurements) become singleton sweeps with
+// Local false and execute gate-at-a-time.
+type Sweep struct {
+	Start, End int
+	Local      bool
+}
+
+// Len returns the number of gates the sweep covers.
+func (s Sweep) Len() int { return s.End - s.Start }
+
+// BlockLocal reports whether g can join a block-local sweep for the
+// given offset-bit count: a unitary whose target and every control all
+// live in the offset segment, so applying it touches amplitude pairs
+// inside a single block and acts identically on every block of every
+// rank. Measurements are never block-local (they are collective), and
+// neither is any gate whose target or a control selects block or rank
+// index bits.
+func BlockLocal(g Gate, offsetBits int) bool {
+	if g.Kind != KindUnitary || g.Target >= offsetBits {
+		return false
+	}
+	for _, c := range g.Controls {
+		if c >= offsetBits {
+			return false
+		}
+	}
+	return true
+}
+
+// PlanSweeps partitions gates into maximal runs of consecutive
+// block-local gates (Local sweeps, possibly of length 1) interleaved
+// with singleton non-local sweeps. Concatenating the ranges in order
+// reproduces the input stream exactly: the plan never reorders gates, so
+// executing sweep-by-sweep is semantically identical to gate-at-a-time
+// execution. The plan depends only on the gate list and offsetBits —
+// both identical on every rank — so all ranks compute the same schedule
+// and their collectives stay aligned.
+func PlanSweeps(gates []Gate, offsetBits int) []Sweep {
+	var plan []Sweep
+	for i := 0; i < len(gates); {
+		if !BlockLocal(gates[i], offsetBits) {
+			plan = append(plan, Sweep{Start: i, End: i + 1})
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(gates) && BlockLocal(gates[j], offsetBits) {
+			j++
+		}
+		plan = append(plan, Sweep{Start: i, End: j, Local: true})
+		i = j
+	}
+	return plan
+}
+
+// SingletonSweeps returns the degenerate plan with one single-gate,
+// non-local sweep per gate — the schedule that reproduces gate-at-a-time
+// execution exactly (used when the sweep scheduler is disabled or a
+// noise channel must fire after every gate).
+func SingletonSweeps(gates []Gate) []Sweep {
+	plan := make([]Sweep, len(gates))
+	for i := range gates {
+		plan[i] = Sweep{Start: i, End: i + 1}
+	}
+	return plan
+}
+
+// SweepSignature returns an unambiguous byte signature of a gate run for
+// the compressed block cache (§3.4): each gate's Signature,
+// length-prefixed so distinct gate sequences can never concatenate to
+// the same key bytes.
+func SweepSignature(gates []Gate) string {
+	b := make([]byte, 0, 72*len(gates))
+	for _, g := range gates {
+		sig := g.Signature()
+		b = binary.AppendUvarint(b, uint64(len(sig)))
+		b = append(b, sig...)
+	}
+	return string(b)
+}

@@ -1,0 +1,126 @@
+package quantum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanSweepsPartitionsBlockLocalRuns(t *testing.T) {
+	const offsetBits = 3
+	c := NewCircuit(6)
+	c.H(0).H(1).H(2)                    // block-local run of 3
+	c.CNOT(1, 4)                        // cross-block target: singleton barrier
+	c.X(0).CZ(2, 1).T(2)                // block-local run of 3 (controls in offset bits too)
+	c.Measure(1)                        // measurement: singleton barrier
+	c.H(0)                              // block-local run of 1
+	c.ApplyControlled("cx", MatX, 0, 5) // control outside offset bits: barrier
+	c.H(2).H(1)                         // trailing block-local run of 2
+
+	plan := PlanSweeps(c.Gates, offsetBits)
+	want := []Sweep{
+		{0, 3, true},
+		{3, 4, false},
+		{4, 7, true},
+		{7, 8, false},
+		{8, 9, true},
+		{9, 10, false},
+		{10, 12, true},
+	}
+	if len(plan) != len(want) {
+		t.Fatalf("got %d sweeps %v, want %d", len(plan), plan, len(want))
+	}
+	for i, sw := range plan {
+		if sw != want[i] {
+			t.Fatalf("sweep %d = %+v, want %+v (plan %v)", i, sw, want[i], plan)
+		}
+	}
+}
+
+// TestQuickPlanSweepsIsAPartition: for any circuit and offset width, the
+// plan covers [0, len(gates)) contiguously in order, local sweeps hold
+// only block-local gates, and local runs are maximal (no two adjacent
+// local sweeps, no local gate stranded at a non-local boundary).
+func TestQuickPlanSweepsIsAPartition(t *testing.T) {
+	f := func(seed int64, offSel, gateCount uint8) bool {
+		offsetBits := 1 + int(offSel)%7
+		gates := 1 + int(gateCount)%60
+		cir := RandomCircuit(7, gates, seed)
+		cir.Measure(int(uint64(seed) % 7))
+		plan := PlanSweeps(cir.Gates, offsetBits)
+		next := 0
+		for i, sw := range plan {
+			if sw.Start != next || sw.End <= sw.Start {
+				t.Logf("sweep %d = %+v not contiguous at %d", i, sw, next)
+				return false
+			}
+			next = sw.End
+			for gi := sw.Start; gi < sw.End; gi++ {
+				if BlockLocal(cir.Gates[gi], offsetBits) != sw.Local {
+					t.Logf("gate %d locality mismatches sweep %+v", gi, sw)
+					return false
+				}
+			}
+			if !sw.Local && sw.Len() != 1 {
+				t.Logf("non-local sweep %+v not a singleton", sw)
+				return false
+			}
+			if sw.Local && i > 0 && plan[i-1].Local {
+				t.Logf("adjacent local sweeps %+v, %+v not merged", plan[i-1], sw)
+				return false
+			}
+		}
+		return next == len(cir.Gates)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingletonSweeps(t *testing.T) {
+	c := RandomCircuit(5, 17, 3)
+	plan := SingletonSweeps(c.Gates)
+	if len(plan) != 17 {
+		t.Fatalf("%d sweeps for 17 gates", len(plan))
+	}
+	for i, sw := range plan {
+		if sw.Start != i || sw.End != i+1 || sw.Local {
+			t.Fatalf("sweep %d = %+v", i, sw)
+		}
+	}
+}
+
+// TestSweepSignatureUnambiguous: length prefixes keep distinct gate
+// sequences from concatenating to identical signatures.
+func TestSweepSignatureUnambiguous(t *testing.T) {
+	h0, h1, x0 := Gate{Name: "h", Target: 0, U: MatH}, Gate{Name: "h", Target: 1, U: MatH}, Gate{Name: "x", Target: 0, U: MatX}
+	sigs := map[string][]Gate{}
+	for _, run := range [][]Gate{
+		{h0}, {h1}, {x0},
+		{h0, h1}, {h1, h0}, {h0, x0}, {h0, h1, x0},
+	} {
+		s := SweepSignature(run)
+		if prev, dup := sigs[s]; dup {
+			t.Fatalf("sweep signature collision: %v vs %v", prev, run)
+		}
+		sigs[s] = run
+	}
+}
+
+func TestBlockLocal(t *testing.T) {
+	for _, tc := range []struct {
+		g    Gate
+		off  int
+		want bool
+	}{
+		{Gate{Name: "h", Target: 2, U: MatH}, 3, true},
+		{Gate{Name: "h", Target: 3, U: MatH}, 3, false},
+		{Gate{Name: "cx", Target: 0, Controls: []int{2}, U: MatX}, 3, true},
+		{Gate{Name: "cx", Target: 0, Controls: []int{3}, U: MatX}, 3, false},
+		{Gate{Name: "ccx", Target: 1, Controls: []int{0, 5}, U: MatX}, 3, false},
+		{Gate{Kind: KindMeasure, Name: "measure", Target: 0}, 3, false},
+	} {
+		if got := BlockLocal(tc.g, tc.off); got != tc.want {
+			t.Errorf("BlockLocal(%v, %d) = %v, want %v", tc.g, tc.off, got, tc.want)
+		}
+	}
+}

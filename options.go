@@ -98,6 +98,23 @@ func WithGateFusion(enabled bool) Option {
 	return func(s *settings) { s.cfg.FuseGates = enabled }
 }
 
+// WithSweeps toggles the sweep scheduler (default on): maximal runs of
+// consecutive block-local gates — target and controls all inside one
+// compressed block's offset bits — execute with a single decompress →
+// apply-all → recompress pass per block instead of one codec round trip
+// per gate. A sweep is broken by cross-block or cross-rank targets,
+// controls outside the offset bits, measurements, and (when WithNoise
+// is set) every gate, since the depolarizing channel fires per gate.
+// Sweeps are bit-identical to gate-at-a-time execution under the
+// lossless codec; under a lossy budget the state sees fewer truncations
+// and the Eq. 11 fidelity ledger charges one (1-δ) factor per sweep —
+// the bound only tightens. Stats reports Sweeps, SweepGates, and
+// CodecPassesSaved. Disable only to reproduce the paper's exact
+// one-pass-per-gate cost model.
+func WithSweeps(enabled bool) Option {
+	return func(s *settings) { s.cfg.DisableSweeps = !enabled }
+}
+
 // WithUncompressed disables compression entirely (blocks stored raw) —
 // the Intel-QS-equivalent baseline the paper compares against.
 func WithUncompressed(enabled bool) Option {

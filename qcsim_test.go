@@ -33,6 +33,9 @@ func TestOptionRoundTrip(t *testing.T) {
 		{"WithCache", []Option{WithCache(8)}, func(c core.Config) bool { return c.CacheLines == 8 }},
 		{"WithSeed", []Option{WithSeed(99)}, func(c core.Config) bool { return c.Seed == 99 }},
 		{"WithGateFusion", []Option{WithGateFusion(true)}, func(c core.Config) bool { return c.FuseGates }},
+		{"WithSweepsDefaultOn", nil, func(c core.Config) bool { return !c.DisableSweeps }},
+		{"WithSweepsOff", []Option{WithSweeps(false)}, func(c core.Config) bool { return c.DisableSweeps }},
+		{"WithSweepsOn", []Option{WithSweeps(false), WithSweeps(true)}, func(c core.Config) bool { return !c.DisableSweeps }},
 		{"WithUncompressed", []Option{WithUncompressed(true)}, func(c core.Config) bool { return c.Uncompressed }},
 	}
 	for _, tc := range cases {
@@ -267,6 +270,11 @@ func TestBudgetExceeded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Escalation is decided once per sweep: the first Hadamard layer
+	// climbs the ladder, the second exhausts it.
+	if _, err := sim.Run(context.Background(), circuit.HadamardAll(10)); err != nil {
+		t.Fatal(err)
+	}
 	res, err := sim.Run(context.Background(), circuit.HadamardAll(10))
 	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("error %v does not wrap ErrBudgetExceeded", err)
@@ -405,5 +413,50 @@ func TestSaveLoadThroughFacade(t *testing.T) {
 	}
 	if restored.GatesRun() != sim.GatesRun() {
 		t.Fatal("gate counter not restored")
+	}
+}
+
+// TestSweepSchedulerFacade: sweeps are on by default, surface their
+// counters through Stats, and match sweeps-off execution bit-for-bit.
+func TestSweepSchedulerFacade(t *testing.T) {
+	cir := circuit.Grover(5, 11, circuit.GroverOptimalIterations(5))
+	run := func(opts ...Option) (*Simulator, *Result) {
+		t.Helper()
+		sim, err := New(cir.N, append([]Option{WithBlockAmps(16), WithSeed(4)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(context.Background(), cir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim, res
+	}
+	simOn, resOn := run()
+	simOff, resOff := run(WithSweeps(false))
+
+	if resOn.Stats.Sweeps == 0 || resOn.Stats.CodecPassesSaved == 0 {
+		t.Fatalf("default run reports no sweep activity: %+v", resOn.Stats)
+	}
+	if resOff.Stats.Sweeps != 0 {
+		t.Fatalf("WithSweeps(false) still swept: %+v", resOff.Stats)
+	}
+	callsOn := resOn.Stats.CompressCalls + resOn.Stats.DecompressCalls
+	callsOff := resOff.Stats.CompressCalls + resOff.Stats.DecompressCalls
+	if callsOn >= callsOff {
+		t.Fatalf("sweeps did not reduce codec invocations: %d vs %d", callsOn, callsOff)
+	}
+	a, err := simOn.FullState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := simOff.FullState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("amplitude %d differs between sweeps on and off", i)
+		}
 	}
 }
