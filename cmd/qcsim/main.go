@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"sort"
 	"time"
 
 	"qcsim"
@@ -38,7 +39,8 @@ func main() {
 		cache       = flag.Int("cache", 64, "compressed block cache lines (0 = off)")
 		codec       = flag.String("codec", "", "lossy codec name or alias (default: the paper's Solution C; see qccompress -list)")
 		seed        = flag.Int64("seed", 1, "randomness seed")
-		shots       = flag.Int("shots", 0, "sample this many outcomes at the end")
+		shots       = flag.Int("shots", 0, "sample this many outcomes at the end (streams from the compressed state; works at any register width)")
+		sampleCache = flag.Int("sample-cache", 8, "decompressed blocks the sampler keeps hot")
 		checkpoint  = flag.String("checkpoint", "", "write a checkpoint file after the run")
 		resume      = flag.String("resume", "", "load a checkpoint file before the run")
 		uncomp      = flag.Bool("uncompressed", false, "run the uncompressed baseline")
@@ -101,6 +103,7 @@ func main() {
 		qcsim.WithNoise(*noise),
 		qcsim.WithSeed(*seed),
 		qcsim.WithSweeps(*sweeps),
+		qcsim.WithSampleCache(*sampleCache),
 	}
 	if *codec != "" {
 		opts = append(opts, qcsim.WithCodec(*codec))
@@ -174,7 +177,11 @@ func main() {
 		fmt.Printf("measurements         %v\n", ms)
 	}
 	if *shots > 0 {
-		samples, err := sim.Sample(*shots)
+		sp, err := sim.Sampler()
+		if err != nil {
+			fail(err)
+		}
+		samples, err := sp.Sample(*shots)
 		if err != nil {
 			fail(err)
 		}
@@ -182,15 +189,27 @@ func main() {
 		for _, v := range samples {
 			counts[v]++
 		}
-		fmt.Printf("samples (%d shots):\n", *shots)
-		printed := 0
-		for v, c := range counts {
-			fmt.Printf("  |%0*b⟩: %d\n", cir.N, v, c)
-			printed++
-			if printed >= 10 {
-				fmt.Printf("  ... %d more distinct outcomes\n", len(counts)-printed)
+		type outcome struct {
+			v uint64
+			n int
+		}
+		top := make([]outcome, 0, len(counts))
+		for v, n := range counts {
+			top = append(top, outcome{v, n})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].n != top[j].n {
+				return top[i].n > top[j].n
+			}
+			return top[i].v < top[j].v
+		})
+		fmt.Printf("samples (%d shots, total mass %.6f):\n", *shots, sp.TotalMass())
+		for i, o := range top {
+			if i >= 10 {
+				fmt.Printf("  ... %d more distinct outcomes\n", len(top)-i)
 				break
 			}
+			fmt.Printf("  |%0*b⟩: %d\n", cir.N, o.v, o.n)
 		}
 	}
 	if *checkpoint != "" {

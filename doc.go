@@ -34,6 +34,27 @@
 // read the compressed state directly; Save and Load checkpoint the
 // compressed blocks as-is (§3.5).
 //
+// # Sampling
+//
+// Shot-based readout streams directly from the compressed blocks — the
+// full 2^n-amplitude vector is never materialized, so Sample (and the
+// reusable Sampler handle) work on registers far past the 26-qubit
+// FullState limit. A Sampler builds a two-level CDF in one pass over
+// the blocks (per-block probability masses plus their prefix sums);
+// each shot then binary-searches the block prefix, decompresses only
+// its hit block through a small LRU (WithSampleCache), and resolves the
+// offset by an intra-block scan — O(blocks + shots·(log blocks +
+// blockAmps)) total.
+//
+// Normalization contract: every draw is scaled by the CDF's true total
+// mass Σ|aᵢ|² (Sampler.TotalMass). Lossy compression legitimately lets
+// the state's norm drift below 1; normalizing the draws means outcome
+// frequencies always follow the state's actual distribution — no
+// probability mass is ever silently reassigned to |0...0⟩ or anywhere
+// else. A Sampler describes the state it was built from: after Run,
+// Reset, SetBasisState, or Load it reports ErrStaleSampler and a fresh
+// one must be built.
+//
 // # Sweep scheduler
 //
 // The paper's cost model pays one decompress → apply → recompress pass

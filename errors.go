@@ -39,7 +39,14 @@ var (
 	ErrBadCheckpoint = errors.New("qcsim: invalid checkpoint")
 
 	// ErrStateTooLarge reports a request to materialize the full
-	// uncompressed state vector (FullState, Sample) on a register too
-	// wide to allocate it.
+	// uncompressed state vector (FullState) on a register too wide to
+	// allocate it. Sample and Sampler never materialize the state and
+	// work at any width.
 	ErrStateTooLarge = errors.New("qcsim: state too large to materialize")
+
+	// ErrStaleSampler reports a Sampler whose probability tables no
+	// longer describe the simulator's state — gates ran, Reset or
+	// SetBasisState reinitialized it, or a checkpoint loaded since the
+	// Sampler was built. Build a fresh one with Simulator.Sampler.
+	ErrStaleSampler = errors.New("qcsim: sampler stale: state mutated since it was built")
 )

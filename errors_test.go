@@ -101,8 +101,29 @@ func TestSentinelErrors(t *testing.T) {
 		defer func() { maxFullStateQubits = old }()
 		_, err := sim.FullState()
 		mustBe(t, err, ErrStateTooLarge)
-		_, err = sim.Sample(8)
-		mustBe(t, err, ErrStateTooLarge)
+		// Sample streams from the compressed blocks and no longer hits
+		// the FullState width guard.
+		if _, err := sim.Sample(8); err != nil {
+			t.Fatalf("streaming Sample tripped the FullState guard: %v", err)
+		}
+	})
+	t.Run("ErrStaleSampler", func(t *testing.T) {
+		s, err := New(4, WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := s.Sampler()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sp.Sample(4); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(ctx, circuit.GHZ(4)); err != nil {
+			t.Fatal(err)
+		}
+		_, err = sp.Sample(4)
+		mustBe(t, err, ErrStaleSampler)
 	})
 	t.Run("context.Canceled", func(t *testing.T) {
 		cctx, cancel := context.WithCancel(ctx)

@@ -155,11 +155,21 @@ func (s *Simulator) Load(r io.Reader) error {
 		}
 	}
 	// Commit.
+	s.version++
 	s.ledger = ledger
 	s.gatesRun = gatesRun
 	s.measurements = meas
 	for ri, rs := range s.ranks {
 		rs.level = images[ri].level
+		// The restored state replaces whatever ran before, so per-rank
+		// accounting latched from the pre-restore timeline must not
+		// survive: a stuck overBudget latch would make the next run
+		// report the budget exceeded even though the restored footprint
+		// fits, and FinalLevel must describe the restored ladder position
+		// (levels only escalate, so the level at save time is the highest
+		// the checkpointed timeline ever used).
+		rs.overBudget = false
+		rs.stats.FinalLevel = images[ri].level
 		var footprint int64
 		for b := range rs.blocks {
 			rs.blocks[b] = images[ri].blocks[b]

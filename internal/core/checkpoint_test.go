@@ -76,6 +76,60 @@ func TestCheckpointPreservesLedgerAndMeasurements(t *testing.T) {
 	}
 }
 
+// TestLoadClearsOverBudgetLatch: restoring a checkpoint replaces the
+// state, so the per-rank over-budget latch (and the FinalLevel
+// high-water mark) from the pre-restore timeline must not survive Load
+// — a healthy checkpoint used to load with OverBudget() still true,
+// making the next run report a phantom budget failure.
+func TestLoadClearsOverBudgetLatch(t *testing.T) {
+	mk := func(budget int64) *Simulator {
+		return newSim(t, 6, 2, 8, func(c *Config) {
+			c.MemoryBudget = budget
+			c.ErrorLevels = []float64{1e-4}
+		})
+	}
+	s := mk(400)
+	if err := s.Run(quantum.GHZ(6)); err != nil {
+		t.Fatal(err)
+	}
+	if s.OverBudget() {
+		t.Fatal("GHZ run over budget; healthy-checkpoint precondition void")
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	savedLevel := s.Stats().FinalLevel
+
+	// Escalate past the single-level ladder: a dense, phase-varied state
+	// cannot fit 400 bytes at any level.
+	for i := 0; i < 4 && !s.OverBudget(); i++ {
+		if err := s.Run(quantum.QFT(6, int64(30+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.OverBudget() {
+		t.Fatal("ladder never exhausted; latch scenario void")
+	}
+
+	if err := s.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if s.OverBudget() {
+		t.Fatal("restored a healthy checkpoint but the over-budget latch survived")
+	}
+	if got := s.Stats().FinalLevel; got != savedLevel {
+		t.Fatalf("restored FinalLevel = %d, want the checkpoint's %d", got, savedLevel)
+	}
+	// The restored state must run cleanly and stay within budget.
+	if err := s.Run(quantum.NewCircuit(6).H(0).H(0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.OverBudget() {
+		t.Fatal("post-restore run of a tiny-support state tripped the budget")
+	}
+}
+
 func TestCheckpointGeometryMismatch(t *testing.T) {
 	s := newSim(t, 6, 2, 8, nil)
 	var buf bytes.Buffer

@@ -52,6 +52,10 @@ type Simulator struct {
 	// (Eq. 11).
 	ledger float64
 
+	// version counts state mutations (runs, resets, checkpoint loads) so
+	// a Sampler can detect that its CDF no longer describes the state.
+	version uint64
+
 	// gateLevel[gi] is the max error level any rank used while
 	// executing gate gi of the current Run (atomic access).
 	gateLevel []uint32
@@ -167,6 +171,7 @@ func (s *Simulator) Config() Config { return s.cfg }
 // Reset reinitializes the state to |0...0⟩, keeping stats at zero and
 // the ledger at 1.
 func (s *Simulator) Reset() error {
+	s.version++
 	for _, rs := range s.ranks {
 		rs.level = 0
 		rs.overBudget = false
@@ -178,20 +183,29 @@ func (s *Simulator) Reset() error {
 		for i := range scratch {
 			scratch[i] = 0
 		}
+		// Every block except (rank 0, block 0) holds the same all-zero
+		// content: compress it once and hand out copies, so a wide
+		// register (2^28 amplitudes and beyond) initializes with at most
+		// two codec calls per rank instead of one per block.
+		zeroBlob, err := s.compressBlock(rs.level, scratch, &rs.stats)
+		if err != nil {
+			return err
+		}
 		var footprint int64
 		for b := range rs.blocks {
+			var blob []byte
 			if rs.id == 0 && b == 0 {
 				scratch[0] = 1 // amplitude of |0...0⟩
-			}
-			blob, err := s.compressBlock(rs.level, scratch, &rs.stats)
-			if err != nil {
-				return err
+				blob, err = s.compressBlock(rs.level, scratch, &rs.stats)
+				if err != nil {
+					return err
+				}
+				scratch[0] = 0
+			} else {
+				blob = append([]byte(nil), zeroBlob...)
 			}
 			rs.blocks[b] = blob
 			footprint += int64(len(blob))
-			if rs.id == 0 && b == 0 {
-				scratch[0] = 0
-			}
 		}
 		rs.stats.CurrentFootprint = footprint
 		rs.stats.MaxFootprint = footprint
@@ -469,6 +483,11 @@ func (s *Simulator) RunControlled(c *quantum.Circuit, ctl RunControl) error {
 	if s.cfg.FuseGates {
 		c = quantum.FuseSingleQubitGates(c)
 	}
+	if len(c.Gates) > 0 {
+		// Any gate may mutate the state (even a failed run leaves a
+		// completed prefix), so samplers built earlier are now stale.
+		s.version++
+	}
 	var plan []quantum.Sweep
 	if s.sweepsEnabled() {
 		plan = quantum.PlanSweeps(c.Gates, s.offsetBits)
@@ -517,7 +536,7 @@ func (s *Simulator) RunControlled(c *quantum.Circuit, ctl RunControl) error {
 						}
 					} else {
 						swErr = s.applyGateRank(comm, rs, g, gi)
-						if s.noise != nil {
+						if s.noiseActive() {
 							// The noise Pauli may be a cross-rank gate, so a
 							// rank that failed the unitary cannot just skip
 							// it: agree on failure first, then either all

@@ -116,33 +116,25 @@ func (s *Simulator) ProbabilityOne(q int) (float64, error) {
 	return p, nil
 }
 
+// defaultSampleCacheBlocks sizes the decompressed-block LRU of the
+// one-shot Sample convenience path; Sampler callers pick their own.
+const defaultSampleCacheBlocks = 4
+
 // Sample draws `shots` full-register outcomes from the compressed state
-// without collapsing it (test scales). A nil rng falls back to the
-// simulator's own seeded sampling stream, so deterministic sampling
-// needs no caller-supplied randomness — and, because that stream is
-// separate from the measurement-collapse stream, sampling never
-// perturbs later measurement outcomes.
+// without collapsing it, via a throwaway streaming Sampler — the state
+// is never materialized, so sampling works at any register width. A
+// nil rng falls back to the simulator's own seeded sampling stream, so
+// deterministic sampling needs no caller-supplied randomness — and,
+// because that stream is separate from the measurement-collapse stream,
+// sampling never perturbs later measurement outcomes. Callers drawing
+// repeatedly from an unchanged state should hold a NewSampler instead
+// and amortize the CDF build.
 func (s *Simulator) Sample(rng *rand.Rand, shots int) ([]uint64, error) {
-	if rng == nil {
-		rng = s.sampleRng
-	}
-	amps, err := s.FullState()
+	sp, err := s.NewSampler(defaultSampleCacheBlocks)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]uint64, shots)
-	for k := range out {
-		r := rng.Float64()
-		var acc float64
-		for i, a := range amps {
-			acc += real(a)*real(a) + imag(a)*imag(a)
-			if r < acc {
-				out[k] = uint64(i)
-				break
-			}
-		}
-	}
-	return out, nil
+	return sp.Sample(rng, shots)
 }
 
 // Stats returns the aggregate across ranks.

@@ -203,6 +203,65 @@ func TestNoiseChangesState(t *testing.T) {
 	}
 }
 
+// TestNoiseProbZeroMatchesNilModel: a Prob == 0 channel can never fire,
+// so installing it must be indistinguishable from no model at all —
+// same amplitudes, same measurement outcomes, same codec traffic, and
+// (the part the old code got wrong on the gate-at-a-time path) zero
+// draws from the per-rank noise stream. Phase 2 proves the streams
+// stayed aligned: after upgrading both sims to a live channel, the
+// injected Pauli trajectories must still be bit-identical — had the
+// Prob == 0 phase consumed variates, they would diverge.
+func TestNoiseProbZeroMatchesNilModel(t *testing.T) {
+	mk := func(m *NoiseModel) *Simulator {
+		// DisableSweeps forces every gate down the gate-at-a-time path
+		// where the per-gate noise allreduce and draws used to happen.
+		s := newSim(t, 6, 2, 8, func(c *Config) { c.Seed = 33; c.DisableSweeps = true })
+		if err := s.SetNoise(m); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	nilSim, zeroSim := mk(nil), mk(&NoiseModel{Prob: 0})
+	cir := quantum.QFT(6, 9)
+	cir.Measure(0).Measure(3)
+	for _, s := range []*Simulator{nilSim, zeroSim} {
+		if err := s.Run(cir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := nilSim.Measurements(), zeroSim.Measurements(); len(a) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("measurements diverge: %v vs %v", a, b)
+	}
+	a, _ := nilSim.FullState()
+	b, _ := zeroSim.FullState()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Prob=0 noise changed the state at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	sa, sb := nilSim.Stats(), zeroSim.Stats()
+	if sa.CompressCalls != sb.CompressCalls || sa.DecompressCalls != sb.DecompressCalls || sa.Gates != sb.Gates {
+		t.Fatalf("Prob=0 noise changed codec traffic: %+v vs %+v", sa, sb)
+	}
+
+	// Phase 2: live noise must pick up from identical stream positions.
+	for _, s := range []*Simulator{nilSim, zeroSim} {
+		if err := s.SetNoise(&NoiseModel{Prob: 0.7}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(quantum.GHZ(6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ = nilSim.FullState()
+	b, _ = zeroSim.FullState()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("noise streams desynced at %d: the Prob=0 phase consumed rng draws", i)
+		}
+	}
+}
+
 func TestNoiseValidation(t *testing.T) {
 	s := newSim(t, 4, 1, 4, nil)
 	if err := s.SetNoise(&NoiseModel{Prob: 1.5}); err == nil {

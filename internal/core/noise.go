@@ -28,6 +28,15 @@ func (s *Simulator) SetNoise(m *NoiseModel) error {
 	return nil
 }
 
+// noiseActive reports whether the depolarizing channel can ever fire.
+// A Prob == 0 model is equivalent to no model at all, so the per-gate
+// error-flag allreduce and the two rng draws the channel would cost are
+// skipped entirely — the execution path (collectives, noise stream,
+// stats) is identical to a nil model.
+func (s *Simulator) noiseActive() bool {
+	return s.noise != nil && s.noise.Prob > 0
+}
+
 // applyNoiseRank draws from the rank's noise stream — identical on every
 // rank — and applies the chosen Pauli as a regular gate. All ranks draw
 // the same number of variates per gate whether or not the Pauli fires,

@@ -26,7 +26,7 @@ import (
 // observe the state with the preceding gate already applied. A
 // Prob == 0 channel can never fire, so it does not cost the batching.
 func (s *Simulator) sweepsEnabled() bool {
-	return !s.cfg.DisableSweeps && (s.noise == nil || s.noise.Prob == 0)
+	return !s.cfg.DisableSweeps && !s.noiseActive()
 }
 
 // localGate is one gate of a sweep, pre-split into the offset-segment

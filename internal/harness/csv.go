@@ -193,6 +193,30 @@ func ExportCSV(dir string, opt Options) error {
 	}); err != nil {
 		return err
 	}
+	sampling, err := SamplingResults(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("sampling.csv", func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"benchmark", "qubits", "shots", "distinct", "total_mass",
+			"build_seconds", "draw_seconds", "scan_seconds", "speedup"}); err != nil {
+			return err
+		}
+		for _, r := range sampling {
+			rec := []string{r.Benchmark, strconv.Itoa(r.Qubits), strconv.Itoa(r.Shots),
+				strconv.Itoa(r.Distinct), fmtF(r.TotalMass),
+				fmtF(r.BuildTime.Seconds()), fmtF(r.DrawTime.Seconds()),
+				fmtF(r.ScanTime.Seconds()), fmtF(r.Speedup)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}); err != nil {
+		return err
+	}
 	// Fig. 6 is closed-form; export the curves too.
 	return write("fig6_fidelity_bounds.csv", func(w io.Writer) error {
 		cw := csv.NewWriter(w)

@@ -53,6 +53,8 @@ type Options struct {
 	// reproducing the paper's one-codec-pass-per-gate cost model (the
 	// "sweep" experiment compares both modes regardless).
 	DisableSweeps bool
+	// SampleShots is the shot count of the sampling experiment.
+	SampleShots int
 }
 
 // Default returns the committed experiment scale.
@@ -73,6 +75,7 @@ func Default() Options {
 		Table2Ranks:    4,
 		BlockAmps:      1024,
 		MaxWorkers:     8,
+		SampleShots:    4096,
 	}
 }
 
@@ -94,6 +97,7 @@ func Small() Options {
 		Table2Ranks:    2,
 		BlockAmps:      128,
 		MaxWorkers:     4,
+		SampleShots:    256,
 	}
 }
 
@@ -122,6 +126,7 @@ func Experiments() []Experiment {
 		{"fig16", "Fig. 16: strong scaling of a Hadamard layer", runFig16},
 		{"fig16w", "Fig. 16b: intra-rank worker-pool scaling (paper: OpenMP threads per rank)", runFig16Workers},
 		{"sweep", "Sweep scheduler: codec passes per run of block-local gates (Grover, QAOA)", runSweep},
+		{"sampling", "Sampling: streaming compressed-domain sampler vs full-vector scan (GHZ, QAOA)", runSampling},
 		{"table2", "Table 2: full benchmark results with time breakdown", runTable2},
 	}
 }

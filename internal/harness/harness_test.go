@@ -351,7 +351,7 @@ func TestExportCSV(t *testing.T) {
 	if err := ExportCSV(dir, Small()); err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range []string{"fig7_abs_ratio.csv", "fig8_rel_ratio.csv", "fig10_solutions_ratio.csv", "fig11_rates.csv", "table2.csv", "fig6_fidelity_bounds.csv", "fig16_strong_scaling.csv", "fig16w_worker_scaling.csv", "sweep_codec_reduction.csv"} {
+	for _, f := range []string{"fig7_abs_ratio.csv", "fig8_rel_ratio.csv", "fig10_solutions_ratio.csv", "fig11_rates.csv", "table2.csv", "fig6_fidelity_bounds.csv", "fig16_strong_scaling.csv", "fig16w_worker_scaling.csv", "sweep_codec_reduction.csv", "sampling.csv"} {
 		data, err := os.ReadFile(filepath.Join(dir, f))
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)
@@ -360,5 +360,30 @@ func TestExportCSV(t *testing.T) {
 		if lines < 2 {
 			t.Fatalf("%s has only %d lines", f, lines)
 		}
+	}
+}
+
+func TestSamplingShape(t *testing.T) {
+	rows, err := SamplingResults(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want GHZ and QAOA rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Shots != Small().SampleShots || r.Distinct < 1 || r.Distinct > r.Shots {
+			t.Fatalf("malformed row: %+v", r)
+		}
+		if r.TotalMass < 0.999 || r.TotalMass > 1.001 {
+			t.Fatalf("%s: lossless total mass %v, want ~1", r.Benchmark, r.TotalMass)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("%s: speedup %v", r.Benchmark, r.Speedup)
+		}
+	}
+	// GHZ concentrates on two outcomes; the sampler must see exactly that.
+	if rows[0].Distinct != 2 {
+		t.Fatalf("GHZ drew %d distinct outcomes, want 2", rows[0].Distinct)
 	}
 }

@@ -27,6 +27,35 @@ type World struct {
 	bcast   []float64
 	done    chan struct{} // closed when any rank dies
 	once    sync.Once
+	// bufPool recycles SendRecv payload buffers across exchanges. The
+	// sender checks a buffer out and the RECEIVER returns it after
+	// copying — the sender may already be composing its next exchange
+	// while the receiver still reads the previous payload, so a
+	// per-sender buffer would race; routing the return through a shared
+	// free list keeps every buffer single-owner at all times. A full
+	// pool drops returns (GC takes them), an empty one allocates.
+	bufPool chan []float64
+}
+
+// getBuf checks a payload buffer of length n out of the pool,
+// allocating when the pool is empty or its buffer is too small.
+func (w *World) getBuf(n int) []float64 {
+	select {
+	case b := <-w.bufPool:
+		if cap(b) >= n {
+			return b[:n]
+		}
+	default:
+	}
+	return make([]float64, n)
+}
+
+// putBuf returns a buffer to the pool (dropped if the pool is full).
+func (w *World) putBuf(b []float64) {
+	select {
+	case w.bufPool <- b:
+	default:
+	}
 }
 
 func (w *World) abort() {
@@ -60,6 +89,7 @@ func Run(size int, body func(*Comm)) ([]*Comm, error) {
 		reduceI: make([]uint64, size),
 		bcast:   make([]float64, size),
 		done:    make(chan struct{}),
+		bufPool: make(chan []float64, 2*size),
 	}
 	for i := range w.mailbox {
 		w.mailbox[i] = make(chan []float64, 1)
@@ -117,8 +147,10 @@ func (c *Comm) SendRecv(peer int, send, recv []float64) {
 		return
 	}
 	start := time.Now()
-	// Copy out so the receiver never aliases our live buffer.
-	out := make([]float64, len(send))
+	// Copy out so the receiver never aliases our live buffer. The copy
+	// goes into a pooled buffer that the receiver returns after reading,
+	// so steady-state exchange traffic allocates nothing.
+	out := c.w.getBuf(len(send))
 	copy(out, send)
 	select {
 	case c.w.mailbox[peer*c.w.size+c.rank] <- out:
@@ -135,6 +167,7 @@ func (c *Comm) SendRecv(peer int, send, recv []float64) {
 		panic(fmt.Sprintf("mpi: rank %d expected %d values from %d, got %d", c.rank, len(recv), peer, len(in)))
 	}
 	copy(recv, in)
+	c.w.putBuf(in)
 	c.sends++
 	c.bytes += int64(len(send) * 8)
 	c.commTime += time.Since(start)

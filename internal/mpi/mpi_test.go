@@ -63,6 +63,52 @@ func TestSendRecvSelf(t *testing.T) {
 	}
 }
 
+// TestSendRecvPoolNoCrossTalk stresses the payload buffer pool: four
+// ranks exchange per-iteration-distinct payloads for many rounds, so a
+// buffer recycled while its receiver still reads it — or handed to two
+// senders at once — produces a wrong value (and a -race report).
+func TestSendRecvPoolNoCrossTalk(t *testing.T) {
+	const rounds, n = 200, 64
+	_, err := Run(4, func(c *Comm) {
+		peer := c.Rank() ^ 1
+		send := make([]float64, n)
+		recv := make([]float64, n)
+		for it := 0; it < rounds; it++ {
+			for i := range send {
+				send[i] = float64(c.Rank()*1_000_000 + it*1000 + i)
+			}
+			c.SendRecv(peer, send, recv)
+			for i := range recv {
+				if want := float64(peer*1_000_000 + it*1000 + i); recv[i] != want {
+					t.Errorf("rank %d round %d: recv[%d] = %v, want %v", c.Rank(), it, i, recv[i], want)
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkSendRecvAllocs measures the per-exchange allocation cost:
+// with the pooled payload buffers, steady-state SendRecv traffic must
+// not allocate per call.
+func BenchmarkSendRecvAllocs(b *testing.B) {
+	payload := make([]float64, 4096)
+	b.SetBytes(int64(len(payload) * 8))
+	b.ReportAllocs()
+	_, err := Run(2, func(c *Comm) {
+		recv := make([]float64, len(payload))
+		for i := 0; i < b.N; i++ {
+			c.SendRecv(c.Rank()^1, payload, recv)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
 func TestSendRecvNoAliasing(t *testing.T) {
 	_, err := Run(2, func(c *Comm) {
 		send := []float64{float64(c.Rank())}

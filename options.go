@@ -18,9 +18,10 @@ var DefaultErrorLevels = core.DefaultErrorLevels
 // is reported by New, wrapped in ErrBadConfig (or ErrUnknownCodec for
 // codec-name lookups).
 type settings struct {
-	cfg       core.Config
-	codecName string
-	noiseProb float64
+	cfg         core.Config
+	codecName   string
+	noiseProb   float64
+	sampleCache int
 }
 
 // Option configures a Simulator at construction. Options are applied in
@@ -77,6 +78,25 @@ func WithCache(lines int) Option {
 	return func(s *settings) { s.cfg.CacheLines = lines }
 }
 
+// DefaultSampleCache is the number of decompressed blocks a Sampler
+// keeps hot when WithSampleCache is not given.
+const DefaultSampleCache = 8
+
+// WithSampleCache sets how many decompressed blocks the streaming
+// sampler (Sampler, Sample) keeps in its LRU, so shots clustered in the
+// same blocks skip repeated codec work. Each line holds one block
+// uncompressed (16·BlockAmps bytes). Values below 1 are clamped to 1 —
+// the current block always stays hot. Default DefaultSampleCache.
+func WithSampleCache(lines int) Option {
+	// Clamp here, not in resolve: there a zero means "option not given"
+	// and selects DefaultSampleCache, so an explicit 0 must become 1
+	// before it reaches the settings.
+	if lines < 1 {
+		lines = 1
+	}
+	return func(s *settings) { s.sampleCache = lines }
+}
+
 // WithNoise installs a quantum-trajectories depolarizing channel: after
 // each gate, with probability prob (in [0,1)), a uniformly random Pauli
 // hits the gate's target qubit. Default 0 (noiseless).
@@ -126,6 +146,9 @@ func WithUncompressed(enabled bool) Option {
 func (s *settings) resolve(qubits int) (core.Config, float64, error) {
 	cfg := s.cfg
 	cfg.Qubits = qubits
+	if s.sampleCache == 0 {
+		s.sampleCache = DefaultSampleCache
+	}
 	if s.codecName != "" {
 		codec, err := registry.New(s.codecName)
 		if err != nil {

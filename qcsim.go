@@ -2,6 +2,7 @@ package qcsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -27,6 +28,9 @@ type Stats = core.Stats
 // parallelizes internally (WithRanks, WithWorkers).
 type Simulator struct {
 	eng *core.Simulator
+	// sampleCache is the decompressed-block LRU size samplers built from
+	// this simulator use (WithSampleCache).
+	sampleCache int
 }
 
 // New builds a simulator for the given register width, initialized to
@@ -52,7 +56,7 @@ func New(qubits int, opts ...Option) (*Simulator, error) {
 			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 	}
-	return &Simulator{eng: eng}, nil
+	return &Simulator{eng: eng, sampleCache: st.sampleCache}, nil
 }
 
 // ProgressEvent describes one completed gate of a RunProgress call.
@@ -219,9 +223,10 @@ func (s *Simulator) Amplitude(idx uint64) (complex128, error) {
 	return s.eng.Amplitude(idx)
 }
 
-// maxFullStateQubits bounds FullState/Sample: past this width the
-// decompressed vector itself is gigabytes. A var so tests can exercise
-// the ErrStateTooLarge path without building a 27-qubit state.
+// maxFullStateQubits bounds FullState: past this width the decompressed
+// vector itself is gigabytes. A var so tests can exercise the
+// ErrStateTooLarge path without building a 27-qubit state. Sample and
+// Sampler stream from the compressed blocks and have no such bound.
 var maxFullStateQubits = 26
 
 // FullState decompresses and returns the whole state vector. Registers
@@ -318,17 +323,75 @@ func (s *Simulator) AssertProduct(a, b int, tol float64) error {
 func (s *Simulator) Measurements() []int { return s.eng.Measurements() }
 
 // Sample draws `shots` full-register outcomes from the simulator's own
-// seeded stream (WithSeed) without collapsing the state. Registers
-// wider than 26 qubits report ErrStateTooLarge.
+// seeded stream (WithSeed) without collapsing the state. The draw
+// streams from the compressed blocks — the full vector is never
+// materialized — so sampling works at any register width. Outcome
+// frequencies follow the state's normalized distribution: draws are
+// scaled by the true total mass Σ|aᵢ|², so lossy compression shedding
+// norm never biases the histogram (toward |0...0⟩ or anywhere else).
+// Repeated sampling of an unchanged state is cheaper through a Sampler
+// handle, which builds the probability tables once.
 func (s *Simulator) Sample(shots int) ([]uint64, error) {
 	if shots < 0 {
 		return nil, fmt.Errorf("%w: negative shot count %d", ErrBadConfig, shots)
 	}
-	if s.eng.Qubits() > maxFullStateQubits {
-		return nil, fmt.Errorf("%w: sampling %d qubits would materialize %s", ErrStateTooLarge,
-			s.eng.Qubits(), FormatBytes(MemoryRequirement(s.eng.Qubits())))
+	sp, err := s.Sampler()
+	if err != nil {
+		return nil, err
 	}
-	return s.eng.Sample(nil, shots)
+	return sp.sample(shots)
+}
+
+// Sampler draws shots directly from the compressed state through a
+// two-level CDF built once at construction: one pass over the
+// compressed blocks computes per-block probability masses, and each
+// shot then binary-searches the block prefix sums and decompresses
+// only its hit block (through an LRU sized by WithSampleCache). Draws
+// are normalized by the true total mass, so lossy-codec norm loss
+// never skews outcomes. A Sampler reads the state it was built from;
+// once the simulator mutates (Run, Reset, SetBasisState, Load), Sample
+// reports ErrStaleSampler and a fresh Sampler must be built. Like the
+// Simulator, a Sampler is not safe for concurrent use.
+type Sampler struct {
+	sp *core.Sampler
+}
+
+// Sampler builds the sampling tables for the current state: one
+// worker-pool pass over the compressed blocks, never materializing the
+// full vector — shot-based readout works on registers far past what
+// FullState can allocate.
+func (s *Simulator) Sampler() (*Sampler, error) {
+	sp, err := s.eng.NewSampler(s.sampleCache)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{sp: sp}, nil
+}
+
+// TotalMass returns the sampler's normalization constant Σ|aᵢ|² at
+// build time — 1 up to floating-point rounding while the state is
+// lossless, below 1 once lossy compression has shed mass.
+func (sp *Sampler) TotalMass() float64 { return sp.sp.TotalMass() }
+
+// Sample draws `shots` outcomes from the simulator's seeded sampling
+// stream (WithSeed). The stream is separate from measurement collapse,
+// so sampling never perturbs later measurement outcomes.
+func (sp *Sampler) Sample(shots int) ([]uint64, error) {
+	if shots < 0 {
+		return nil, fmt.Errorf("%w: negative shot count %d", ErrBadConfig, shots)
+	}
+	return sp.sample(shots)
+}
+
+func (sp *Sampler) sample(shots int) ([]uint64, error) {
+	out, err := sp.sp.Sample(nil, shots)
+	if err != nil {
+		if errors.Is(err, core.ErrSamplerStale) {
+			return nil, fmt.Errorf("%w: %v", ErrStaleSampler, err)
+		}
+		return nil, err
+	}
+	return out, nil
 }
 
 // Stats returns the cumulative aggregate accounting across ranks.

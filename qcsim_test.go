@@ -460,3 +460,115 @@ func TestSweepSchedulerFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestSamplerHandle: the Sampler builds its tables once and then draws
+// repeatedly from the simulator's sampling stream — split calls match
+// one big Sample call, and the WithSampleCache option round-trips.
+func TestSamplerHandle(t *testing.T) {
+	mk := func() *Simulator {
+		sim, err := New(8, WithSeed(21), WithBlockAmps(16), WithSampleCache(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(context.Background(), circuit.HadamardAll(8)); err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	a, b := mk(), mk()
+	if a.sampleCache != 2 {
+		t.Fatalf("WithSampleCache(2) did not round-trip: %d", a.sampleCache)
+	}
+	if z, err := New(4, WithSampleCache(0)); err != nil || z.sampleCache != 1 {
+		t.Fatalf("WithSampleCache(0) should clamp to 1, got %d (%v)", z.sampleCache, err)
+	}
+	if d, err := New(4); err != nil || d.sampleCache != DefaultSampleCache {
+		t.Fatalf("default sample cache = %d, want %d (%v)", d.sampleCache, DefaultSampleCache, err)
+	}
+	sp, err := a.Sampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm := sp.TotalMass(); math.Abs(tm-1) > 1e-9 {
+		t.Fatalf("lossless TotalMass = %v, want ~1", tm)
+	}
+	s1, err := sp.Sample(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sp.Sample(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := b.Sample(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range whole {
+		var got uint64
+		if i < 16 {
+			got = s1[i]
+		} else {
+			got = s2[i-16]
+		}
+		if got != want {
+			t.Fatalf("shot %d: sampler handle drew %d, Sample drew %d", i, got, want)
+		}
+	}
+	if _, err := sp.Sample(-1); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative shots: %v", err)
+	}
+}
+
+// TestSampleBeyondFullStateLimit is the tentpole acceptance check at the
+// facade: a register too wide for FullState still supports shot-based
+// readout, because the sampler streams from the compressed blocks.
+func TestSampleBeyondFullStateLimit(t *testing.T) {
+	sim, err := New(28, WithBlockAmps(4096), WithSeed(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.FullState(); !errors.Is(err, ErrStateTooLarge) {
+		t.Fatalf("FullState at 28 qubits: %v, want ErrStateTooLarge", err)
+	}
+	out, err := sim.Sample(8)
+	if err != nil {
+		t.Fatalf("streaming Sample failed at 28 qubits: %v", err)
+	}
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("shot %d of |0...0⟩ = %d", i, v)
+		}
+	}
+}
+
+// TestLoadClearsBudgetLatchFacade: restoring a healthy checkpoint after
+// a run exhausted the escalation ladder must not leave Run reporting a
+// phantom ErrBudgetExceeded.
+func TestLoadClearsBudgetLatchFacade(t *testing.T) {
+	ctx := context.Background()
+	sim, err := New(8, WithBlockAmps(32), WithSeed(2), WithMemoryBudget(700), WithErrorLevels(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(ctx, circuit.GHZ(8)); err != nil {
+		t.Fatalf("healthy run failed: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := sim.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var over error
+	for i := 0; i < 4 && over == nil; i++ {
+		_, over = sim.Run(ctx, circuit.QFT(8, int64(40+i)))
+	}
+	if !errors.Is(over, ErrBudgetExceeded) {
+		t.Fatalf("could not exhaust the ladder: %v", over)
+	}
+	if err := sim.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(ctx, circuit.New(8).H(0).H(0)); err != nil {
+		t.Fatalf("run after restoring a healthy checkpoint: %v", err)
+	}
+}
