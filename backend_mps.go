@@ -1,0 +1,218 @@
+package qcsim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"qcsim/circuit"
+	"qcsim/internal/core"
+	"qcsim/internal/mps"
+	"qcsim/internal/quantum"
+)
+
+// mpsBackend adapts internal/mps to the facade's backend contract. The
+// MPS stores one 3-index tensor per qubit, capped at bond dimension χ,
+// so low-entanglement circuits run in polynomial memory at register
+// widths the full-state engine cannot touch; the truncated
+// singular-value weight feeds the same fidelity-ledger surface as the
+// compressed engine's Eq. 11 bound. What an MPS genuinely cannot do —
+// measurement collapse, multi-controlled gates, full-state assertions,
+// checkpointing — reports ErrUnsupportedOp.
+type mpsBackend struct {
+	st   *mps.State
+	chi  int
+	fuse bool
+
+	gatesRun     int
+	maxFootprint int64
+	computeTime  time.Duration
+	// version invalidates samplers across mutations, mirroring the
+	// core engine's counter.
+	version uint64
+	// sampleRng is the dedicated seeded sampling stream (same
+	// derivation as the core engine's).
+	sampleRng *rand.Rand
+}
+
+func newMPSBackend(qubits, chi int, seed int64, fuse bool) (*mpsBackend, error) {
+	if qubits > 62 {
+		// Amplitude indices and sample outcomes are uint64s, so the
+		// facade's register cap is 62 qubits on every backend — the
+		// MPS could represent more, but could not report on them.
+		return nil, fmt.Errorf("%w: %d qubits exceeds the 62-qubit register cap", ErrBadConfig, qubits)
+	}
+	st, err := mps.New(qubits, chi)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	b := &mpsBackend{st: st, chi: chi, fuse: fuse, sampleRng: core.SampleStream(seed)}
+	b.maxFootprint = st.MemoryBytes()
+	return b, nil
+}
+
+func (b *mpsBackend) Name() string { return BackendMPS }
+func (b *mpsBackend) Qubits() int  { return b.st.Qubits() }
+
+// RunControlled applies the circuit gate-at-a-time, honoring the same
+// control contract as the compressed engine: PollAbort checked before
+// every gate (an abort keeps the completed prefix and wraps the hook's
+// error), OnGate after every completed gate.
+func (b *mpsBackend) RunControlled(c *circuit.Circuit, ctl core.RunControl) error {
+	if c.N != b.st.Qubits() {
+		return fmt.Errorf("mps backend: circuit has %d qubits, simulator %d", c.N, b.st.Qubits())
+	}
+	if b.fuse {
+		c = quantum.FuseSingleQubitGates(c)
+	}
+	if len(c.Gates) > 0 {
+		b.version++
+	}
+	start := time.Now()
+	defer func() {
+		b.computeTime += time.Since(start)
+		if fp := b.st.MemoryBytes(); fp > b.maxFootprint {
+			b.maxFootprint = fp
+		}
+	}()
+	executed := 0
+	for gi, g := range c.Gates {
+		if ctl.PollAbort != nil {
+			if aerr := ctl.PollAbort(); aerr != nil {
+				b.gatesRun += executed
+				return fmt.Errorf("mps backend: run aborted after %d of %d gates: %w",
+					executed, len(c.Gates), aerr)
+			}
+		}
+		if err := b.st.ApplyGate(g); err != nil {
+			b.gatesRun += executed
+			return fmt.Errorf("mps backend: run failed after %d of %d gates: %w",
+				executed, len(c.Gates), err)
+		}
+		executed++
+		if ctl.OnGate != nil {
+			ctl.OnGate(gi, len(c.Gates), g)
+		}
+	}
+	b.gatesRun += executed
+	return nil
+}
+
+func (b *mpsBackend) Reset() error {
+	b.st.Reset()
+	b.version++
+	return nil
+}
+
+func (b *mpsBackend) SetBasisState(idx uint64) error {
+	b.st.SetBasisState(idx)
+	b.version++
+	return nil
+}
+
+// Accounting. Footprint is the live tensor storage; MaxBond and the
+// truncation count surface through Stats (Escalations carries the
+// number of truncating SVDs — the MPS analog of lossy-bound
+// escalations, each one a recorded fidelity loss).
+func (b *mpsBackend) GatesRun() int               { return b.gatesRun }
+func (b *mpsBackend) Measurements() []int         { return nil }
+func (b *mpsBackend) MeasurementCount() int       { return 0 }
+func (b *mpsBackend) FidelityLowerBound() float64 { return b.st.FidelityLowerBound() }
+func (b *mpsBackend) CompressedFootprint() int64  { return b.st.MemoryBytes() }
+func (b *mpsBackend) BytesMoved() int64           { return 0 }
+func (b *mpsBackend) OverBudget() bool            { return false }
+
+func (b *mpsBackend) CompressionRatio() float64 {
+	fp := b.st.MemoryBytes()
+	if fp == 0 {
+		return 0
+	}
+	return MemoryRequirement(b.st.Qubits()) / float64(fp)
+}
+
+func (b *mpsBackend) Stats() Stats {
+	return Stats{
+		ComputeTime:      b.computeTime,
+		Gates:            b.gatesRun,
+		CurrentFootprint: b.st.MemoryBytes(),
+		MaxFootprint:     b.maxFootprint,
+		Escalations:      b.st.Truncations,
+	}
+}
+
+// Inspection by contraction.
+
+func (b *mpsBackend) Amplitude(idx uint64) (complex128, error) { return b.st.Amplitude(idx), nil }
+func (b *mpsBackend) Norm() (float64, error)                   { return b.st.Norm(), nil }
+
+func (b *mpsBackend) FullState() ([]complex128, error) { return b.st.Dense() }
+
+func (b *mpsBackend) ProbabilityOne(q int) (float64, error) { return b.st.ProbabilityOne(q) }
+func (b *mpsBackend) ExpectationZ(q int) (float64, error)   { return b.st.ExpectationZ(q) }
+func (b *mpsBackend) ExpectationZZ(a, c int) (float64, error) {
+	return b.st.ExpectationZZ(a, c)
+}
+
+func (b *mpsBackend) MaxCutEnergy(edges []core.CutEdge) (float64, error) {
+	qe := make([]quantum.Edge, len(edges))
+	for i, e := range edges {
+		qe[i] = quantum.Edge{U: e.U, V: e.V}
+	}
+	return b.st.MaxCutEnergy(qe)
+}
+
+// Assertions need joint distributions over the full register; route
+// callers to the compressed backend.
+
+func (b *mpsBackend) AssertClassical(q, value int, tol float64) error {
+	return b.unsupported("assert")
+}
+func (b *mpsBackend) AssertSuperposition(q int, tol float64) error {
+	return b.unsupported("assert")
+}
+func (b *mpsBackend) AssertProduct(a, c int, tol float64) error {
+	return b.unsupported("assert")
+}
+
+// Checkpointing is compressed-engine territory.
+
+func (b *mpsBackend) Save(w io.Writer) error { return b.unsupported("checkpoint") }
+func (b *mpsBackend) Load(r io.Reader) error { return b.unsupported("checkpoint") }
+
+// unsupported reports op through the mps package's typed error so the
+// facade sentinel (ErrUnsupportedOp) and the structured
+// *mps.UnsupportedOpError both match.
+func (b *mpsBackend) unsupported(op string) error {
+	return &mps.UnsupportedOpError{Op: op,
+		Reason: "requires full-state access; use the compressed backend"}
+}
+
+// mpsSampler adapts mps.Sampler to the facade contract: drawn from the
+// backend's dedicated seeded stream and invalidated by any state
+// mutation since construction.
+type mpsSampler struct {
+	b       *mpsBackend
+	sp      *mps.Sampler
+	version uint64
+}
+
+// NewSampler builds the right-environment tables in one O(n·χ³) sweep.
+// cacheLines is the compressed engine's decompressed-block LRU size; an
+// MPS has no blocks to cache, so it is ignored.
+func (b *mpsBackend) NewSampler(cacheLines int) (backendSampler, error) {
+	sp, err := b.st.NewSampler()
+	if err != nil {
+		return nil, err
+	}
+	return &mpsSampler{b: b, sp: sp, version: b.version}, nil
+}
+
+func (s *mpsSampler) Sample(shots int) ([]uint64, error) {
+	if s.version != s.b.version {
+		return nil, fmt.Errorf("%w (mps backend)", ErrStaleSampler)
+	}
+	return s.sp.Sample(s.b.sampleRng, shots)
+}
+
+func (s *mpsSampler) TotalMass() float64 { return s.sp.TotalMass() }

@@ -129,6 +129,16 @@ func RandomCircuit(n, gates int, seed int64) *Circuit {
 	return quantum.RandomCircuit(n, gates, seed)
 }
 
+// Brickwork builds a 1D brickwork entangling circuit of the given
+// depth: per layer, seeded RY rotations on every qubit, then
+// nearest-neighbor CNOTs on alternating pairs. Entanglement across any
+// chain cut grows by one two-qubit gate every other layer — the
+// controllable dial of the backend-crossover experiment, and the
+// canonical workload for exploring WithBondDim.
+func Brickwork(n, depth int, seed int64) *Circuit {
+	return quantum.Brickwork(n, depth, seed)
+}
+
 // RandomRegularGraph returns a seeded random d-regular graph on n
 // vertices — the QAOA problem instances.
 func RandomRegularGraph(n, d int, seed int64) []Edge {

@@ -21,6 +21,8 @@ func main() {
 	csvDir := flag.String("csv", "", "export figure data as CSV files into this directory")
 	workers := flag.Int("workers", 0, "worker goroutines per rank in simulator runs (0 = NumCPU/ranks)")
 	sweeps := flag.Bool("sweeps", true, "use the sweep scheduler in simulator runs (off reproduces the paper's one-pass-per-gate cost model)")
+	backendName := flag.String("backend", "", "restrict the crossover experiment to one engine: mps|compressed (default: both)")
+	bondDim := flag.Int("bond-dim", 0, "MPS bond-dimension cap χ for the crossover experiment (0 = the scale's default)")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +37,10 @@ func main() {
 	}
 	opt.Workers = *workers
 	opt.DisableSweeps = !*sweeps
+	opt.Backend = *backendName
+	if *bondDim > 0 {
+		opt.BondDim = *bondDim
+	}
 	if *csvDir != "" {
 		if err := bench.ExportCSV(*csvDir, opt); err != nil {
 			fmt.Fprintf(os.Stderr, "qcbench: csv export: %v\n", err)

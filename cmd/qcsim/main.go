@@ -7,6 +7,7 @@
 //	qcsim -circuit grover -qubits 13 -budget-frac 0.1
 //	qcsim -circuit qft -qubits 16 -ranks 4 -checkpoint state.ckp
 //	qcsim -circuit supremacy -qubits 16 -depth 11 -budget-frac 0.375
+//	qcsim -circuit ghz -qubits 40 -backend mps -shots 1024
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 		qubits      = flag.Int("qubits", 12, "total qubits (grover: must be 2s-3 for search width s)")
 		depth       = flag.Int("depth", 11, "cycles (supremacy) or gate count (random)")
 		rounds      = flag.Int("rounds", 2, "QAOA rounds / Grover iterations")
+		backendName = flag.String("backend", "compressed", "simulation engine: compressed|mps|auto (auto picks per circuit)")
+		bondDim     = flag.Int("bond-dim", 64, "MPS bond-dimension cap χ (mps/auto backends)")
 		ranks       = flag.Int("ranks", 1, "SPMD ranks (power of two)")
 		workers     = flag.Int("workers", 0, "worker goroutines per rank over the block loop (0 = NumCPU/ranks)")
 		blockAmps   = flag.Int("block", 4096, "amplitudes per block (power of two)")
@@ -94,6 +97,8 @@ func main() {
 		perRank = int64(req * *budgetFrac / float64(*ranks))
 	}
 	opts := []qcsim.Option{
+		qcsim.WithBackend(*backendName),
+		qcsim.WithBondDim(*bondDim),
 		qcsim.WithRanks(*ranks),
 		qcsim.WithWorkers(*workers),
 		qcsim.WithBlockAmps(*blockAmps),
@@ -155,6 +160,7 @@ func main() {
 	if gates == 0 {
 		gates = 1
 	}
+	fmt.Printf("backend             %s\n", sim.Backend())
 	fmt.Printf("total time          %v  (%.2f ms/gate)\n", elapsed.Round(time.Millisecond),
 		elapsed.Seconds()*1000/float64(gates))
 	fmt.Printf("  compression       %5.1f%%\n", 100*st.CompressTime.Seconds()/tot)
@@ -164,8 +170,13 @@ func main() {
 	fmt.Printf("compressed footprint %s (ratio %.2f, min %.2f)\n",
 		qcsim.FormatBytes(float64(res.Footprint)), res.CompressionRatio,
 		st.MinCompressionRatio(req))
-	fmt.Printf("fidelity lower bound %.6f (error level %d, %d escalations)\n",
-		res.FidelityLowerBound, st.FinalLevel, st.Escalations)
+	if sim.Backend() == qcsim.BackendMPS {
+		fmt.Printf("fidelity lower bound %.6f (bond dim cap %d, %d truncating SVDs)\n",
+			res.FidelityLowerBound, *bondDim, st.Escalations)
+	} else {
+		fmt.Printf("fidelity lower bound %.6f (error level %d, %d escalations)\n",
+			res.FidelityLowerBound, st.FinalLevel, st.Escalations)
+	}
 	if st.CacheLookups > 0 {
 		fmt.Printf("block cache          %d/%d hits\n", st.CacheHits, st.CacheLookups)
 	}

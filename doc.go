@@ -3,6 +3,9 @@
 // (Wu et al., SC 2019): a Schrödinger-style state-vector simulator that
 // keeps every block of amplitudes compressed in memory, trading
 // computation time and a bounded amount of fidelity for memory space.
+// The facade drives pluggable engines: the compressed full-state core
+// (default) and a matrix-product-state (tensor-network) backend — the
+// paper's §2.2 comparator — selected with WithBackend.
 //
 // # Usage
 //
@@ -54,6 +57,53 @@
 // else. A Sampler describes the state it was built from: after Run,
 // Reset, SetBasisState, or Load it reports ErrStaleSampler and a fresh
 // one must be built.
+//
+// # Backend selection
+//
+// WithBackend chooses the engine at construction; WithBondDim caps the
+// MPS bond dimension χ:
+//
+//	compressed  full 2^n state, every operation, graceful lossy
+//	            degradation under WithMemoryBudget (the default)
+//	mps         one bond-capped tensor per qubit: O(n·χ²) memory all
+//	            the way to the 62-qubit register cap, exact while the
+//	            circuit's entanglement fits χ, truncating (with the
+//	            ledger recording the loss) beyond it
+//	auto        decide at the first Run from the circuit itself
+//
+// The decision table auto implements — and the one to apply by hand:
+//
+//	circuit property                  → backend
+//	measurement / multi-control gates → compressed (mps reports
+//	                                    ErrUnsupportedOp)
+//	noise channel, uncompressed mode  → compressed
+//	estimated bond dimension ≤ χ      → mps (polynomial memory wins)
+//	estimated bond dimension > χ      → compressed (χ would truncate;
+//	                                    pointwise error bounds degrade
+//	                                    more gracefully)
+//
+// The estimate is structural: each two-qubit gate can at most double
+// the Schmidt rank across the chain cuts it spans, so a circuit whose
+// per-cut two-qubit-gate count stays ≤ log2(χ) runs exactly on the MPS.
+// GHZ chains (1 gate per cut) and shallow brickwork circuits qualify at
+// the full 62-qubit register cap; QFT, supremacy grids, and deep QAOA
+// do not. The
+// `qcbench -exp crossover` experiment measures exactly this frontier.
+//
+// # The ErrUnsupportedOp contract
+//
+// Everything the facade exposes works on the compressed backend. On the
+// mps backend, operations that need full-state access — measurement
+// gates, gates with more than one control, AssertClassical /
+// AssertSuperposition / AssertProduct, and Save/Load — fail with an
+// error wrapping ErrUnsupportedOp (errors.Is-able; the chain carries a
+// *mps.UnsupportedOpError naming the operation). A rejected gate stops
+// the run at that gate boundary with the completed prefix intact, like
+// every other mid-run error. Everything else — Amplitude, FullState (to
+// 26 qubits), Norm, ProbabilityOne, ExpectationZ/ZZ, MaxCutEnergy,
+// Sample/Sampler, Reset, SetBasisState — is first-class on both
+// engines, answered on the MPS by tensor contraction instead of block
+// decompression.
 //
 // # Sweep scheduler
 //

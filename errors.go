@@ -1,6 +1,10 @@
 package qcsim
 
-import "errors"
+import (
+	"errors"
+
+	"qcsim/internal/mps"
+)
 
 // Sentinel errors. Every error returned by the package either is one of
 // these or wraps one of them (or, for aborted runs, wraps the context's
@@ -50,3 +54,18 @@ var (
 	// Sampler was built. Build a fresh one with Simulator.Sampler.
 	ErrStaleSampler = errors.New("qcsim: sampler stale: state mutated since it was built")
 )
+
+// ErrUnsupportedOp reports an operation the selected backend genuinely
+// cannot perform. The compressed backend supports everything; the mps
+// backend rejects measurement gates, multi-controlled gates (more than
+// one control), the Assert* methods, and Save/Load — the paper's §1
+// case for full-state simulation, made checkable:
+//
+//	if _, err := sim.Run(ctx, c); errors.Is(err, qcsim.ErrUnsupportedOp) {
+//		// rebuild with WithBackend(qcsim.BackendCompressed)
+//	}
+//
+// The error chain also carries a *mps.UnsupportedOpError naming the
+// rejected operation; it is the same sentinel internal/mps uses, so
+// errors.Is works across the facade boundary.
+var ErrUnsupportedOp = mps.ErrUnsupportedOp

@@ -125,6 +125,14 @@ func TestSentinelErrors(t *testing.T) {
 		_, err = sp.Sample(4)
 		mustBe(t, err, ErrStaleSampler)
 	})
+	t.Run("ErrUnsupportedOp", func(t *testing.T) {
+		s, err := New(4, WithBackend(BackendMPS), WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = s.Run(ctx, circuit.New(4).Measure(0))
+		mustBe(t, err, ErrUnsupportedOp)
+	})
 	t.Run("context.Canceled", func(t *testing.T) {
 		cctx, cancel := context.WithCancel(ctx)
 		cancel()

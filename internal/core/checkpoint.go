@@ -168,13 +168,17 @@ func (s *Simulator) Load(r io.Reader) error {
 		// fits, and FinalLevel must describe the restored ladder position
 		// (levels only escalate, so the level at save time is the highest
 		// the checkpointed timeline ever used).
-		rs.overBudget = false
 		rs.stats.FinalLevel = images[ri].level
 		var footprint int64
 		for b := range rs.blocks {
 			rs.blocks[b] = images[ri].blocks[b]
 			footprint += int64(len(rs.blocks[b]))
 		}
+		// Re-derive the latch from the restored state itself: clear it
+		// for a healthy checkpoint, but a state saved over budget at
+		// the loosest bound is still over budget after the restore.
+		rs.overBudget = s.cfg.MemoryBudget > 0 && !s.cfg.Uncompressed &&
+			rs.level == len(s.cfg.ErrorLevels) && footprint > s.cfg.MemoryBudget
 		rs.stats.CurrentFootprint = footprint
 		if footprint > rs.stats.MaxFootprint {
 			rs.stats.MaxFootprint = footprint

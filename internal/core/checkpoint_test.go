@@ -130,6 +130,39 @@ func TestLoadClearsOverBudgetLatch(t *testing.T) {
 	}
 }
 
+// TestLoadRelatchesOverBudgetCheckpoint is the other side of the latch
+// contract: a state SAVED over budget at the loosest bound is still
+// over budget after the restore, so Load must re-derive the latch from
+// the restored footprint instead of clearing it unconditionally.
+func TestLoadRelatchesOverBudgetCheckpoint(t *testing.T) {
+	mk := func() *Simulator {
+		return newSim(t, 6, 2, 8, func(c *Config) {
+			c.MemoryBudget = 200
+			c.ErrorLevels = []float64{1e-4}
+		})
+	}
+	s := mk()
+	for i := 0; i < 4 && !s.OverBudget(); i++ {
+		if err := s.Run(quantum.QFT(6, int64(30+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.OverBudget() {
+		t.Fatal("ladder never exhausted; over-budget checkpoint scenario void")
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mk()
+	if err := s2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.OverBudget() {
+		t.Fatal("restored an over-budget checkpoint but OverBudget() reports healthy")
+	}
+}
+
 func TestCheckpointGeometryMismatch(t *testing.T) {
 	s := newSim(t, 6, 2, 8, nil)
 	var buf bytes.Buffer

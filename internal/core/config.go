@@ -90,6 +90,14 @@ type Config struct {
 	Seed int64
 }
 
+// Validate checks the configuration without allocating any state — the
+// facade's auto backend uses it to fail fast at construction while
+// deferring the (possibly enormous) state allocation to the first Run.
+func (c Config) Validate() error {
+	_, err := c.withDefaults()
+	return err
+}
+
 // withDefaults returns a validated copy with defaults applied.
 func (c Config) withDefaults() (Config, error) {
 	if c.Qubits < 1 || c.Qubits > 62 {

@@ -119,7 +119,7 @@ func New(cfg Config) (*Simulator, error) {
 		rankBits:  bits.TrailingZeros(uint(cfg.Ranks)),
 		ledger:    1,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		sampleRng: rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		sampleRng: SampleStream(cfg.Seed),
 	}
 	perRank := cfg.Qubits - s.rankBits
 	s.offsetBits = bits.TrailingZeros(uint(cfg.BlockAmps))
@@ -873,4 +873,12 @@ func applyPairSplit(u quantum.Matrix2, x, y []float64, o int) {
 	n1 := u[1][0]*a0 + u[1][1]*a1
 	x[re], x[im] = real(n0), imag(n0)
 	y[re], y[im] = real(n1), imag(n1)
+}
+
+// SampleStream derives the dedicated seeded sampling rng from a
+// simulator seed. It is the single source of the derivation for every
+// backend — the facade's MPS engine uses it too, so WithSeed fixes an
+// equivalent sampling-stream contract regardless of engine.
+func SampleStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
 }

@@ -217,6 +217,33 @@ func ExportCSV(dir string, opt Options) error {
 	}); err != nil {
 		return err
 	}
+	crossover, err := CrossoverResults(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("crossover.csv", func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"depth", "qubits", "gates", "est_bond", "auto_picks",
+			"mps_seconds", "mps_bytes", "mps_fidelity", "mps_max_bond",
+			"compressed_seconds", "compressed_bytes", "compressed_fidelity", "winner"}); err != nil {
+			return err
+		}
+		for _, r := range crossover {
+			rec := []string{strconv.Itoa(r.Depth), strconv.Itoa(r.Qubits), strconv.Itoa(r.Gates),
+				strconv.Itoa(r.EstBond), r.Auto,
+				fmtF(r.MPSTime.Seconds()), strconv.FormatInt(r.MPSMem, 10),
+				fmtF(r.MPSFidelity), strconv.Itoa(r.MPSMaxBond),
+				fmtF(r.CompTime.Seconds()), strconv.FormatInt(r.CompMem, 10),
+				fmtF(r.CompFidelity), r.TimeWinner}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}); err != nil {
+		return err
+	}
 	// Fig. 6 is closed-form; export the curves too.
 	return write("fig6_fidelity_bounds.csv", func(w io.Writer) error {
 		cw := csv.NewWriter(w)

@@ -55,49 +55,65 @@ type Options struct {
 	DisableSweeps bool
 	// SampleShots is the shot count of the sampling experiment.
 	SampleShots int
+	// CrossoverQubits and CrossoverDepths shape the backend-crossover
+	// sweep: a brickwork circuit of each depth on that many qubits.
+	CrossoverQubits int
+	CrossoverDepths []int
+	// BondDim is the MPS bond-dimension cap χ used by the crossover
+	// experiment (and the auto-selection threshold it reports).
+	BondDim int
+	// Backend restricts the crossover sweep to one engine ("mps" or
+	// "compressed"); anything else runs both sides of the comparison.
+	Backend string
 }
 
 // Default returns the committed experiment scale.
 func Default() Options {
 	return Options{
-		SnapshotQubits: 16,
-		SnapshotBlock:  4096,
-		Fig5Qubits:     14,
-		Fig15MinQubits: 12,
-		Fig15MaxQubits: 18,
-		Fig16Qubits:    16,
-		Fig16MaxRanks:  8,
-		GroverSearch:   8,
-		SupremacyGrids: [][2]int{{4, 4}, {3, 5}, {3, 4}},
-		QAOAQubits:     []int{16, 14},
-		QFTQubits:      14,
-		SupremacyDepth: 11,
-		Table2Ranks:    4,
-		BlockAmps:      1024,
-		MaxWorkers:     8,
-		SampleShots:    4096,
+		SnapshotQubits:  16,
+		SnapshotBlock:   4096,
+		Fig5Qubits:      14,
+		Fig15MinQubits:  12,
+		Fig15MaxQubits:  18,
+		Fig16Qubits:     16,
+		Fig16MaxRanks:   8,
+		GroverSearch:    8,
+		SupremacyGrids:  [][2]int{{4, 4}, {3, 5}, {3, 4}},
+		QAOAQubits:      []int{16, 14},
+		QFTQubits:       14,
+		SupremacyDepth:  11,
+		Table2Ranks:     4,
+		BlockAmps:       1024,
+		MaxWorkers:      8,
+		SampleShots:     4096,
+		CrossoverQubits: 16,
+		CrossoverDepths: []int{1, 2, 4, 6, 8, 10, 12},
+		BondDim:         32,
 	}
 }
 
 // Small returns a fast scale for tests.
 func Small() Options {
 	return Options{
-		SnapshotQubits: 11,
-		SnapshotBlock:  512,
-		Fig5Qubits:     10,
-		Fig15MinQubits: 8,
-		Fig15MaxQubits: 11,
-		Fig16Qubits:    11,
-		Fig16MaxRanks:  4,
-		GroverSearch:   5,
-		SupremacyGrids: [][2]int{{3, 3}},
-		QAOAQubits:     []int{10},
-		QFTQubits:      10,
-		SupremacyDepth: 8,
-		Table2Ranks:    2,
-		BlockAmps:      128,
-		MaxWorkers:     4,
-		SampleShots:    256,
+		SnapshotQubits:  11,
+		SnapshotBlock:   512,
+		Fig5Qubits:      10,
+		Fig15MinQubits:  8,
+		Fig15MaxQubits:  11,
+		Fig16Qubits:     11,
+		Fig16MaxRanks:   4,
+		GroverSearch:    5,
+		SupremacyGrids:  [][2]int{{3, 3}},
+		QAOAQubits:      []int{10},
+		QFTQubits:       10,
+		SupremacyDepth:  8,
+		Table2Ranks:     2,
+		BlockAmps:       128,
+		MaxWorkers:      4,
+		SampleShots:     256,
+		CrossoverQubits: 10,
+		CrossoverDepths: []int{1, 2, 4, 6},
+		BondDim:         8,
 	}
 }
 
@@ -127,6 +143,7 @@ func Experiments() []Experiment {
 		{"fig16w", "Fig. 16b: intra-rank worker-pool scaling (paper: OpenMP threads per rank)", runFig16Workers},
 		{"sweep", "Sweep scheduler: codec passes per run of block-local gates (Grover, QAOA)", runSweep},
 		{"sampling", "Sampling: streaming compressed-domain sampler vs full-vector scan (GHZ, QAOA)", runSampling},
+		{"crossover", "Crossover: compressed full-state vs MPS backend over entanglement depth (§2.2)", runCrossover},
 		{"table2", "Table 2: full benchmark results with time breakdown", runTable2},
 	}
 }

@@ -351,7 +351,7 @@ func TestExportCSV(t *testing.T) {
 	if err := ExportCSV(dir, Small()); err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range []string{"fig7_abs_ratio.csv", "fig8_rel_ratio.csv", "fig10_solutions_ratio.csv", "fig11_rates.csv", "table2.csv", "fig6_fidelity_bounds.csv", "fig16_strong_scaling.csv", "fig16w_worker_scaling.csv", "sweep_codec_reduction.csv", "sampling.csv"} {
+	for _, f := range []string{"fig7_abs_ratio.csv", "fig8_rel_ratio.csv", "fig10_solutions_ratio.csv", "fig11_rates.csv", "table2.csv", "fig6_fidelity_bounds.csv", "fig16_strong_scaling.csv", "fig16w_worker_scaling.csv", "sweep_codec_reduction.csv", "sampling.csv", "crossover.csv"} {
 		data, err := os.ReadFile(filepath.Join(dir, f))
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)
@@ -385,5 +385,53 @@ func TestSamplingShape(t *testing.T) {
 	// GHZ concentrates on two outcomes; the sampler must see exactly that.
 	if rows[0].Distinct != 2 {
 		t.Fatalf("GHZ drew %d distinct outcomes, want 2", rows[0].Distinct)
+	}
+}
+
+func TestCrossoverShape(t *testing.T) {
+	opt := Small()
+	rows, err := CrossoverResults(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(opt.CrossoverDepths) {
+		t.Fatalf("want one row per depth, got %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Depth != opt.CrossoverDepths[i] || r.Gates == 0 {
+			t.Fatalf("malformed row: %+v", r)
+		}
+		// The structural estimate is an upper bound on the bond
+		// dimension the run actually reached (capped by χ).
+		if r.MPSMaxBond > r.EstBond && r.EstBond <= opt.BondDim {
+			t.Fatalf("depth %d: actual bond %d exceeds estimate %d", r.Depth, r.MPSMaxBond, r.EstBond)
+		}
+		if r.MPSFidelity <= 0 || r.MPSFidelity > 1 || r.CompFidelity != 1 {
+			t.Fatalf("depth %d: fidelities mps=%v comp=%v", r.Depth, r.MPSFidelity, r.CompFidelity)
+		}
+		if r.TimeWinner == "" || r.Auto == "" {
+			t.Fatalf("depth %d: missing verdicts: %+v", r.Depth, r)
+		}
+	}
+	// Entanglement grows monotonically with depth in a brickwork
+	// circuit, so the estimate must too (until it saturates).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].EstBond < rows[i-1].EstBond {
+			t.Fatalf("estimate fell with depth: %d then %d", rows[i-1].EstBond, rows[i].EstBond)
+		}
+	}
+	// Restricting the sweep to one engine leaves the other's cells zero.
+	opt.Backend = "mps"
+	only, err := CrossoverResults(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range only {
+		if r.CompTime != 0 || r.CompMem != 0 {
+			t.Fatalf("compressed cells populated in an mps-only sweep: %+v", r)
+		}
+		if r.TimeWinner != "mps" {
+			t.Fatalf("winner %q in an mps-only sweep", r.TimeWinner)
+		}
 	}
 }

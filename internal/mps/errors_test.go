@@ -1,0 +1,63 @@
+package mps
+
+import (
+	"errors"
+	"testing"
+
+	"qcsim/internal/quantum"
+)
+
+// TestUnsupportedOpsTyped is the per-op regression suite for the typed
+// rejection contract: every operation an MPS cannot run fails with a
+// *UnsupportedOpError wrapping ErrUnsupportedOp (so errors.Is works at
+// the facade), and the Op field names what was rejected.
+func TestUnsupportedOpsTyped(t *testing.T) {
+	cases := []struct {
+		name   string
+		gate   func(c *quantum.Circuit)
+		wantOp string
+	}{
+		{"measure", func(c *quantum.Circuit) { c.Measure(0) }, "measure"},
+		{"toffoli", func(c *quantum.Circuit) { c.Toffoli(0, 1, 2) }, "multi-control"},
+		{"ccz", func(c *quantum.Circuit) { c.CCZ(0, 1, 2) }, "multi-control"},
+		{"mcz", func(c *quantum.Circuit) { c.MCZ(3, 0, 1, 2) }, "multi-control"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := New(4, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := quantum.NewCircuit(4)
+			tc.gate(c)
+			err = st.ApplyCircuit(c)
+			if err == nil {
+				t.Fatalf("%s gate unexpectedly accepted", tc.name)
+			}
+			if !errors.Is(err, ErrUnsupportedOp) {
+				t.Fatalf("error %q does not wrap ErrUnsupportedOp", err)
+			}
+			var ue *UnsupportedOpError
+			if !errors.As(err, &ue) {
+				t.Fatalf("error %q carries no *UnsupportedOpError", err)
+			}
+			if ue.Op != tc.wantOp {
+				t.Fatalf("rejected op %q, want %q", ue.Op, tc.wantOp)
+			}
+		})
+	}
+}
+
+// TestSupportedGatesNotRejected guards the boundary: single-qubit and
+// singly-controlled gates (at any distance) are NOT unsupported.
+func TestSupportedGatesNotRejected(t *testing.T) {
+	st, err := New(5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := quantum.NewCircuit(5)
+	c.H(0).X(1).RZ(2, 0.3).CNOT(0, 4).CZ(3, 1).CPhase(4, 0, 0.7).SWAP(1, 3)
+	if err := st.ApplyCircuit(c); err != nil {
+		t.Fatalf("supported gate rejected: %v", err)
+	}
+}

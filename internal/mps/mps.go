@@ -69,6 +69,28 @@ func New(n, chi int) (*State, error) {
 // Qubits returns n.
 func (s *State) Qubits() int { return s.n }
 
+// BondDim returns the bond-dimension cap χ.
+func (s *State) BondDim() int { return s.chi }
+
+// Reset reinitializes the state to |0...0⟩ and the truncation ledger to
+// 1, keeping n and χ.
+func (s *State) Reset() {
+	s.SetBasisState(0)
+}
+
+// SetBasisState reinitializes the state to the product state |idx⟩ —
+// bond dimension 1 everywhere, ledger 1.
+func (s *State) SetBasisState(idx uint64) {
+	for q := 0; q < s.n; q++ {
+		s.bondL[q], s.bondR[q] = 1, 1
+		t := make([]complex128, 2)
+		t[idx>>uint(q)&1] = 1
+		s.tensors[q] = t
+	}
+	s.ledger = 1
+	s.Truncations = 0
+}
+
 // FidelityLowerBound returns Π(1 - discarded SVD weight).
 func (s *State) FidelityLowerBound() float64 { return s.ledger }
 
@@ -85,10 +107,12 @@ func (s *State) ApplyCircuit(c *quantum.Circuit) error {
 	return nil
 }
 
-// ApplyGate applies one gate.
+// ApplyGate applies one gate. Measurement and multi-controlled gates
+// report a typed UnsupportedOpError wrapping ErrUnsupportedOp.
 func (s *State) ApplyGate(g quantum.Gate) error {
 	if g.Kind == quantum.KindMeasure {
-		return fmt.Errorf("mps: measurement is unsupported (the paper's §1 limitation of tensor-network simulators)")
+		return unsupported("measure",
+			"measurement collapse has no efficient tensor-network form (the paper's §1 limitation)")
 	}
 	switch len(g.Controls) {
 	case 0:
@@ -97,7 +121,8 @@ func (s *State) ApplyGate(g quantum.Gate) error {
 	case 1:
 		return s.applyControlled(g.Controls[0], g.Target, g.U)
 	default:
-		return fmt.Errorf("mps: %d-controlled gates unsupported (decompose to ≤1 control)", len(g.Controls))
+		return unsupported("multi-control",
+			fmt.Sprintf("%d-controlled %q gate (decompose to ≤1 control)", len(g.Controls), g.Name))
 	}
 }
 
@@ -278,13 +303,6 @@ func (s *State) apply2(q int, m [4][4]complex128) {
 	s.bondL[q+1] = keep
 }
 
-func clampUnit(v float64) float64 {
-	if v <= 0 {
-		return 1
-	}
-	return v
-}
-
 // Amplitude contracts ⟨x|ψ⟩ in O(n·χ²).
 func (s *State) Amplitude(x uint64) complex128 {
 	// Row vector v of length bond, starting at 1.
@@ -308,35 +326,7 @@ func (s *State) Amplitude(x uint64) complex128 {
 
 // Norm returns Σ|⟨x|ψ⟩|² by exact contraction of the transfer matrices.
 func (s *State) Norm() float64 {
-	// E starts as the 1×1 identity environment and is contracted with
-	// each site's transfer operator.
-	bl := 1
-	E := []complex128{1} // bl×bl row-major
-	for q := 0; q < s.n; q++ {
-		br := s.bondR[q]
-		t := s.tensors[q]
-		nE := make([]complex128, br*br)
-		for r1 := 0; r1 < br; r1++ {
-			for r2 := 0; r2 < br; r2++ {
-				var acc complex128
-				for l1 := 0; l1 < bl; l1++ {
-					for l2 := 0; l2 < bl; l2++ {
-						e := E[l1*bl+l2]
-						if e == 0 {
-							continue
-						}
-						for p := 0; p < 2; p++ {
-							acc += e * cmplx.Conj(t[l1*2*br+p*br+r1]) * t[l2*2*br+p*br+r2]
-						}
-					}
-				}
-				nE[r1*br+r2] = acc
-			}
-		}
-		E = nE
-		bl = br
-	}
-	return real(E[0])
+	return s.contractDiag(nil)
 }
 
 // MaxBond returns the largest bond dimension currently in use — the
@@ -360,9 +350,10 @@ func (s *State) MemoryBytes() int64 {
 	return total
 }
 
-// Dense contracts the full state vector (test scales only).
+// Dense contracts the full state vector (test and inspection scales
+// only — the result is 2^n amplitudes).
 func (s *State) Dense() ([]complex128, error) {
-	if s.n > 22 {
+	if s.n > 26 {
 		return nil, fmt.Errorf("mps: dense contraction of %d qubits refused", s.n)
 	}
 	out := make([]complex128, 1<<uint(s.n))

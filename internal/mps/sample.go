@@ -1,0 +1,177 @@
+package mps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Perfect sampling from an MPS: draw full-register outcomes one qubit
+// at a time by conditional contraction, never materializing the 2^n
+// vector. The classic tensor-network result this implements is that a
+// chain with bond dimension χ admits exact (up to truncation already
+// recorded in the ledger) sampling in O(n·χ³) preprocessing plus
+// O(n·χ²) per shot:
+//
+//   - Right environments R[q] (χ×χ, positive semidefinite) summarize
+//     the squared-norm contribution of sites q..n-1 for every left-bond
+//     pair; R[0] is the squared norm itself.
+//   - A shot sweeps left to right, carrying the row vector v of the
+//     chosen-prefix contraction. At site q the conditional weights are
+//     w_p = (v·A_p) R[q+1] (v·A_p)† for p ∈ {0,1}; a uniform draw picks
+//     the bit, and v advances to the chosen branch.
+//
+// This is the MPS analog of the compressed engine's streaming sampler:
+// same contract (seeded stream, no state mutation, draws follow the
+// normalized distribution), different substrate.
+
+// Sampler draws outcomes from a fixed State. Build with NewSampler; the
+// Sampler is bound to the tensors at build time (it holds references,
+// not copies), so the caller must not mutate the State while sampling —
+// the qcsim facade enforces this with a version check. Not safe for
+// concurrent use.
+type Sampler struct {
+	st *State
+	// right[q] is the bondL[q]×bondL[q] environment of sites q..n-1;
+	// right[n] is the 1×1 identity terminator.
+	right [][]complex128
+	total float64
+}
+
+// NewSampler builds the right environments in one O(n·χ³) sweep.
+func (s *State) NewSampler() (*Sampler, error) {
+	right := make([][]complex128, s.n+1)
+	right[s.n] = []complex128{1}
+	for q := s.n - 1; q >= 0; q-- {
+		bl, br := s.bondL[q], s.bondR[q]
+		t := s.tensors[q]
+		R := right[q+1] // br×br
+		// tmp[p][l][r2] = Σ_{r1} A[l,p,r1]·R[r1,r2], then
+		// next[l1,l2] = Σ_p Σ_{r2} tmp[p][l1][r2]·conj(A[l2,p,r2]).
+		next := make([]complex128, bl*bl)
+		tmp := make([]complex128, br)
+		for p := 0; p < 2; p++ {
+			for l1 := 0; l1 < bl; l1++ {
+				for r2 := 0; r2 < br; r2++ {
+					var acc complex128
+					for r1 := 0; r1 < br; r1++ {
+						acc += t[l1*2*br+p*br+r1] * R[r1*br+r2]
+					}
+					tmp[r2] = acc
+				}
+				for l2 := 0; l2 < bl; l2++ {
+					var acc complex128
+					for r2 := 0; r2 < br; r2++ {
+						acc += tmp[r2] * cmplx.Conj(t[l2*2*br+p*br+r2])
+					}
+					next[l1*bl+l2] += acc
+				}
+			}
+		}
+		right[q] = next
+	}
+	total := real(right[0][0])
+	if !(total > 0) || math.IsNaN(total) {
+		return nil, fmt.Errorf("mps: sampler: state has non-positive total mass %v", total)
+	}
+	return &Sampler{st: s, right: right, total: total}, nil
+}
+
+// TotalMass returns the squared norm ⟨ψ|ψ⟩ at build time — exactly 1
+// up to rounding while no SVD has truncated; after truncation it can
+// drift either side of 1, because the chain is not kept in canonical
+// form, so the local renormalization of the kept spectrum is not a
+// global one. Draws are always conditioned on the running total, so
+// outcome frequencies follow the state's normalized distribution
+// regardless.
+func (sp *Sampler) TotalMass() float64 { return sp.total }
+
+// Sample draws `shots` full-register outcomes. The stream contract
+// matches the compressed engine's sampler: one rng consumption order
+// fixed by (shot, qubit), so the same seed reproduces the same draws
+// bit-for-bit; the state is never mutated.
+func (sp *Sampler) Sample(rng *rand.Rand, shots int) ([]uint64, error) {
+	if shots < 0 {
+		return nil, fmt.Errorf("mps: negative shot count %d", shots)
+	}
+	s := sp.st
+	out := make([]uint64, shots)
+	// v and u are scratch for the prefix contraction; their max width
+	// is the largest bond dimension.
+	maxBond := 1
+	for q := 0; q < s.n; q++ {
+		if s.bondR[q] > maxBond {
+			maxBond = s.bondR[q]
+		}
+	}
+	v := make([]complex128, maxBond)
+	u0 := make([]complex128, maxBond)
+	u1 := make([]complex128, maxBond)
+	for k := 0; k < shots; k++ {
+		v[0] = 1
+		var x uint64
+		for q := 0; q < s.n; q++ {
+			bl, br := s.bondL[q], s.bondR[q]
+			t := s.tensors[q]
+			R := sp.right[q+1]
+			// Branch contractions u_p = v·A_p and their conditional
+			// weights w_p = u_p·R·u_p†.
+			var w [2]float64
+			for p := 0; p < 2; p++ {
+				u := u0
+				if p == 1 {
+					u = u1
+				}
+				for r := 0; r < br; r++ {
+					var acc complex128
+					for l := 0; l < bl; l++ {
+						acc += v[l] * t[l*2*br+p*br+r]
+					}
+					u[r] = acc
+				}
+				var m complex128
+				for r1 := 0; r1 < br; r1++ {
+					var acc complex128
+					for r2 := 0; r2 < br; r2++ {
+						acc += R[r1*br+r2] * cmplx.Conj(u[r2])
+					}
+					m += u[r1] * acc
+				}
+				w[p] = real(m)
+				if w[p] < 0 { // PSD up to rounding
+					w[p] = 0
+				}
+			}
+			tot := w[0] + w[1]
+			bit := 0
+			if tot > 0 {
+				if rng.Float64() < w[1]/tot {
+					bit = 1
+				}
+			} else {
+				// Dead branch (numerically impossible prefix): keep the
+				// stream contract by consuming the draw anyway.
+				rng.Float64()
+			}
+			if bit == 1 {
+				x |= 1 << uint(q)
+			}
+			chosen := u0
+			if bit == 1 {
+				chosen = u1
+			}
+			// Renormalize the carried prefix so long registers cannot
+			// underflow; the conditional ratios are scale-invariant.
+			scale := complex(1, 0)
+			if wb := w[bit]; wb > 0 {
+				scale = complex(1/math.Sqrt(wb), 0)
+			}
+			for r := 0; r < br; r++ {
+				v[r] = chosen[r] * scale
+			}
+		}
+		out[k] = x
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package mps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qcsim/internal/quantum"
+)
+
+// chiSquareCritical approximates the upper-p critical value of the
+// chi-square distribution with df degrees of freedom via the
+// Wilson–Hilferty transform — plenty for a fixed-seed acceptance gate.
+func chiSquareCritical(df int, z float64) float64 {
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// sampleCircuits are the statistical-test workloads: two-point support
+// (GHZ), spread support (QFT over a random input layer), and dense
+// support (brickwork entangler).
+func sampleCircuits() []struct {
+	name string
+	cir  *quantum.Circuit
+} {
+	return []struct {
+		name string
+		cir  *quantum.Circuit
+	}{
+		{"ghz8", quantum.GHZ(8)},
+		{"qft7", quantum.QFT(7, 3)},
+		{"brickwork8", quantum.Brickwork(8, 3, 5)},
+	}
+}
+
+// TestPerfectSamplingChiSquare draws a fixed-seed sample from the MPS
+// perfect sampler and chi-square-tests it against the dense reference
+// distribution — the statistical proof that conditional contraction
+// samples the true |⟨x|ψ⟩|² and not an approximation of it.
+func TestPerfectSamplingChiSquare(t *testing.T) {
+	const shots = 20000
+	for _, tc := range sampleCircuits() {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.cir.N
+			st, err := New(n, 256) // χ ≥ 2^(n/2): exact, no truncation
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.ApplyCircuit(tc.cir); err != nil {
+				t.Fatal(err)
+			}
+			ref := quantum.NewState(n)
+			ref.ApplyCircuit(tc.cir)
+
+			sp, err := st.NewSampler()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m := sp.TotalMass(); math.Abs(m-1) > 1e-9 {
+				t.Fatalf("total mass %v of an untruncated state", m)
+			}
+			draws, err := sp.Sample(rand.New(rand.NewSource(2019)), shots)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			counts := make(map[uint64]int)
+			for _, x := range draws {
+				counts[x]++
+			}
+			// Pearson statistic over outcomes with enough expected
+			// mass; everything else lumps into one tail bin (the
+			// standard small-expectation correction).
+			var chi2, tailExp float64
+			tailObs := 0
+			bins := 0
+			seen := make(map[uint64]bool)
+			for x := uint64(0); x < 1<<uint(n); x++ {
+				exp := ref.Probability(x) * shots
+				if exp >= 5 {
+					obs := float64(counts[x])
+					chi2 += (obs - exp) * (obs - exp) / exp
+					bins++
+					seen[x] = true
+				} else {
+					tailExp += exp
+				}
+			}
+			for x, c := range counts {
+				if !seen[x] {
+					tailObs += c
+				}
+			}
+			if tailExp >= 5 {
+				obs := float64(tailObs)
+				chi2 += (obs - tailExp) * (obs - tailExp) / tailExp
+				bins++
+			} else if tailObs > 0 && tailExp < 1e-9 {
+				t.Fatalf("%d draws landed on outcomes with ~zero reference probability", tailObs)
+			}
+			if bins < 2 {
+				t.Fatalf("degenerate bin count %d", bins)
+			}
+			crit := chiSquareCritical(bins-1, 3.09) // p ≈ 0.999
+			if chi2 > crit {
+				t.Fatalf("chi-square %0.1f exceeds the 99.9%% critical value %0.1f over %d bins",
+					chi2, crit, bins)
+			}
+		})
+	}
+}
+
+// TestSamplingSeedContract pins the seeding contract: the same seed
+// yields bit-identical draw sequences, across independently built
+// samplers of independently built (identical) states.
+func TestSamplingSeedContract(t *testing.T) {
+	build := func() *Sampler {
+		st, err := New(9, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.ApplyCircuit(quantum.Brickwork(9, 3, 11)); err != nil {
+			t.Fatal(err)
+		}
+		sp, err := st.NewSampler()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	a, err := build().Sample(rand.New(rand.NewSource(7)), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().Sample(rand.New(rand.NewSource(7)), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c, err := build().Sample(rand.New(rand.NewSource(8)), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 512-draw sequences")
+	}
+}
+
+// TestSamplingOnTruncatedState checks the sampler stays a valid,
+// correctly normalized distribution after lossy truncation: TotalMass
+// equals the state's true squared norm (which drifts from 1 once a
+// non-canonical chain truncates), every conditional draw divides by
+// the running total, and draws stay in range while the ledger records
+// the loss.
+func TestSamplingOnTruncatedState(t *testing.T) {
+	st, err := New(10, 2) // far too small for depth-4 brickwork
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ApplyCircuit(quantum.Brickwork(10, 4, 13)); err != nil {
+		t.Fatal(err)
+	}
+	if st.FidelityLowerBound() >= 1 {
+		t.Fatal("expected a truncating run")
+	}
+	sp, err := st.NewSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, n := sp.TotalMass(), st.Norm(); math.Abs(m-n) > 1e-9*math.Abs(n) {
+		t.Fatalf("sampler total mass %v disagrees with Norm() %v", m, n)
+	}
+	draws, err := sp.Sample(rand.New(rand.NewSource(3)), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range draws {
+		if x >= 1<<10 {
+			t.Fatalf("draw %d outside the register", x)
+		}
+	}
+}

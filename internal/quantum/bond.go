@@ -1,0 +1,78 @@
+package quantum
+
+// Entanglement planning for backend selection: before running a
+// circuit, estimate how large a matrix-product-state bond dimension it
+// needs. The estimate is structural — it looks only at which qubit
+// pairs the two-qubit gates couple, never at angles — so it upper-
+// bounds the true Schmidt rank: each two-qubit gate acting across a cut
+// of the 1D chain can at most double the Schmidt rank there, and the
+// rank across cut i can never exceed 2^min(i+1, n-1-i) (the smaller
+// side's Hilbert dimension). An MPS whose χ covers the largest
+// estimated cut rank simulates the circuit without truncation.
+
+// estimateBondCap keeps the 2^k arithmetic in int range; any estimate
+// at or past it means "exponential — use the full-state engine".
+const estimateBondCap = 1 << 30
+
+// EstimateBondDim returns the structural upper bound on the bond
+// dimension an exact MPS run of c needs: the max over chain cuts of
+// min(2^crossings, 2^side) where crossings counts multi-qubit gates
+// whose operands straddle the cut and side is the smaller cut side.
+// The result saturates at 2^30. Measurement gates do not entangle and
+// are ignored here (MPSCompatible reports them separately).
+func EstimateBondDim(c *Circuit) int {
+	if c == nil || c.N < 2 {
+		return 1
+	}
+	cuts := make([]int, c.N-1) // crossings of cut i (between qubit i and i+1)
+	for _, g := range c.Gates {
+		if g.Kind == KindMeasure || len(g.Controls) == 0 {
+			continue
+		}
+		lo, hi := g.Target, g.Target
+		for _, q := range g.Controls {
+			if q < lo {
+				lo = q
+			}
+			if q > hi {
+				hi = q
+			}
+		}
+		// The gate (after SWAP routing) touches every cut in [lo, hi).
+		for i := lo; i < hi; i++ {
+			cuts[i]++
+		}
+	}
+	max := 1
+	for i, crossings := range cuts {
+		side := i + 1
+		if s := c.N - 1 - i; s < side {
+			side = s
+		}
+		if crossings > side {
+			crossings = side // Hilbert-dimension ceiling
+		}
+		var bond int
+		if crossings >= 30 {
+			bond = estimateBondCap
+		} else {
+			bond = 1 << uint(crossings)
+		}
+		if bond > max {
+			max = bond
+		}
+	}
+	return max
+}
+
+// MPSCompatible reports whether every gate of c is runnable on the MPS
+// backend: no measurement collapse and at most one control per gate.
+// The blocking gate is returned for error messages.
+func MPSCompatible(c *Circuit) (ok bool, blocking Gate) {
+	for _, g := range c.Gates {
+		if g.Kind == KindMeasure || len(g.Controls) > 1 {
+			return false, g
+		}
+	}
+	return true, Gate{}
+}

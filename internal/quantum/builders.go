@@ -355,3 +355,24 @@ func GHZ(n int) *Circuit {
 	}
 	return c
 }
+
+// Brickwork builds a 1D brickwork entangling circuit of the given
+// depth: each layer applies seeded RY rotations to every qubit, then
+// nearest-neighbor CNOTs on alternating pairs. Entanglement across any
+// chain cut grows by one two-qubit gate every other layer, so the
+// Schmidt rank needed for exact tensor-network simulation doubles
+// roughly every two layers until it saturates at 2^(n/2) — the
+// controllable dial the backend-crossover experiment sweeps.
+func Brickwork(n, depth int, seed int64) *Circuit {
+	c := NewCircuit(n)
+	rng := rand.New(rand.NewSource(seed))
+	for layer := 0; layer < depth; layer++ {
+		for q := 0; q < n; q++ {
+			c.RY(q, rng.Float64()*math.Pi)
+		}
+		for q := layer % 2; q+1 < n; q += 2 {
+			c.CNOT(q, q+1)
+		}
+	}
+	return c
+}

@@ -2,6 +2,7 @@ package quantum
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -102,7 +103,37 @@ func imagOrReal(name string, u Matrix2) float64 {
 	return real(u[1][0]) // ry: u10 = sin(θ/2)
 }
 
-// Parse reads a circuit in the qc text format.
+// ErrParse is the sentinel every circuit-text failure wraps, so
+// callers can branch with errors.Is without string matching.
+var ErrParse = errors.New("quantum: invalid circuit text")
+
+// ParseError is the typed failure Parse returns: the 1-based line the
+// parser rejected (0 for whole-file problems like a missing qubits
+// directive) and what was wrong with it. It wraps ErrParse.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	if e.Line == 0 {
+		return fmt.Sprintf("quantum: parse: %s", e.Msg)
+	}
+	return fmt.Sprintf("quantum: parse line %d: %s", e.Line, e.Msg)
+}
+
+// Unwrap ties the typed error to the sentinel.
+func (e *ParseError) Unwrap() error { return ErrParse }
+
+func parseErrf(line int, format string, args ...interface{}) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a circuit in the qc text format. Every failure — bad
+// directive, unknown gate, malformed operand, oversized line — is a
+// *ParseError wrapping ErrParse; Parse never panics, whatever the
+// input (the fuzz target FuzzParseCircuit holds it to that).
 func Parse(r io.Reader) (*Circuit, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -118,27 +149,37 @@ func Parse(r io.Reader) (*Circuit, error) {
 		op := strings.ToLower(fields[0])
 		if op == "qubits" {
 			if c != nil {
-				return nil, fmt.Errorf("line %d: duplicate qubits directive", lineNo)
+				return nil, parseErrf(lineNo, "duplicate qubits directive")
+			}
+			if len(fields) < 2 {
+				return nil, parseErrf(lineNo, "qubits directive needs a count")
 			}
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 1 {
-				return nil, fmt.Errorf("line %d: bad qubit count %q", lineNo, fields[1])
+				return nil, parseErrf(lineNo, "bad qubit count %q", fields[1])
 			}
 			c = NewCircuit(n)
 			continue
 		}
 		if c == nil {
-			return nil, fmt.Errorf("line %d: %q before qubits directive", lineNo, op)
+			return nil, parseErrf(lineNo, "%q before qubits directive", op)
 		}
 		if err := parseGate(c, op, fields[1:]); err != nil {
-			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			return nil, parseErrf(lineNo, "%v", err)
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// An oversized line is a property of the circuit text, so
+			// it is a parse error like any other.
+			return nil, parseErrf(lineNo+1, "line exceeds the 1 MB limit")
+		}
+		// Real reader I/O failures keep their error chain untouched so
+		// callers can still branch on io/os sentinels.
 		return nil, err
 	}
 	if c == nil {
-		return nil, fmt.Errorf("quantum: empty circuit file (missing qubits directive)")
+		return nil, parseErrf(0, "empty circuit file (missing qubits directive)")
 	}
 	return c, nil
 }

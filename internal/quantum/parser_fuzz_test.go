@@ -1,0 +1,72 @@
+package quantum
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCircuit holds the parser to its contract on arbitrary
+// input: never panic, and fail only with a *ParseError wrapping
+// ErrParse. When an input parses, it must survive a
+// Serialize → Parse round trip with the same shape — every gate the
+// parser can produce has a textual form.
+func FuzzParseCircuit(f *testing.F) {
+	seeds := []string{
+		"",
+		"qubits 3\nh 0\ncx 0 1\nmeasure 2\n",
+		"# comment\n\nqubits 5\nrz 2 1.5707963\ncp 0 4 0.785398\nccx 0 1 2\n",
+		"qubits 2\nswap 0 1\nsx 1\nsy 0\np 1 -0.25\n",
+		"qubits 1\nrx 0 nan\nry 0 1e308\n",
+		"qubits",
+		"qubits 0",
+		"qubits 2\nqubits 2",
+		"h 0\nqubits 2",
+		"qubits 2\nbogus 0",
+		"qubits 2\ncx 0 0",
+		"qubits 2\ncx 0 7",
+		"qubits 2\nrz 0",
+		"qubits 2\nccx 0 1",
+		"QUBITS 2\nH 1",
+		"qubits 99999999\nx 12345\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := Parse(strings.NewReader(input))
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("untyped parse error %T: %v", err, err)
+			}
+			if !errors.Is(err, ErrParse) {
+				t.Fatalf("parse error does not wrap ErrParse: %v", err)
+			}
+			return
+		}
+		if c == nil || c.N < 1 {
+			t.Fatalf("nil error but bad circuit %+v", c)
+		}
+		var buf bytes.Buffer
+		if err := Serialize(&buf, c); err != nil {
+			t.Fatalf("parsed circuit does not serialize: %v", err)
+		}
+		c2, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized circuit does not reparse: %v\n%s", err, buf.String())
+		}
+		if c2.N != c.N || len(c2.Gates) != len(c.Gates) {
+			t.Fatalf("round trip changed shape: %d/%d qubits, %d/%d gates",
+				c.N, c2.N, len(c.Gates), len(c2.Gates))
+		}
+		for i := range c.Gates {
+			a, b := c.Gates[i], c2.Gates[i]
+			if a.Name != b.Name || a.Target != b.Target || a.Kind != b.Kind ||
+				len(a.Controls) != len(b.Controls) {
+				t.Fatalf("round trip changed gate %d: %v vs %v", i, a, b)
+			}
+		}
+	})
+}

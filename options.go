@@ -22,6 +22,8 @@ type settings struct {
 	codecName   string
 	noiseProb   float64
 	sampleCache int
+	backend     string
+	bondDim     int
 }
 
 // Option configures a Simulator at construction. Options are applied in
@@ -97,6 +99,40 @@ func WithSampleCache(lines int) Option {
 	return func(s *settings) { s.sampleCache = lines }
 }
 
+// DefaultBondDim is the MPS bond-dimension cap χ when WithBondDim is
+// not given: large enough for GHZ-like and shallow-entangling circuits
+// (χ grows as 2^depth of entangling structure), small enough that a
+// truncating run is obvious from the fidelity ledger.
+const DefaultBondDim = 64
+
+// WithBackend selects the simulation engine: BackendCompressed (the
+// default — the paper's compressed full-state engine), BackendMPS (the
+// §2.2 tensor-network comparator: polynomial memory for
+// low-entanglement circuits up to the 62-qubit register cap, but
+// measurement,
+// multi-controlled gates, assertions, checkpointing, and noise report
+// ErrUnsupportedOp or ErrBadConfig), or BackendAuto (decide at the
+// first Run from the circuit's two-qubit-gate structure: MPS when the
+// estimated bond dimension fits WithBondDim's budget and every gate is
+// MPS-runnable, compressed otherwise). While an auto decision is open,
+// inspection runs on a provisional engine without closing it;
+// operations only the compressed engine supports (Save, Load, the
+// Assert* methods) close the decision in its favor, exactly like a
+// circuit at Run. Unknown names report ErrBadConfig from New.
+func WithBackend(name string) Option {
+	return func(s *settings) { s.backend = name }
+}
+
+// WithBondDim caps the MPS bond dimension χ (≥ 2): the entanglement
+// budget of the mps backend, and the selection threshold of the auto
+// backend. Two-qubit gates whose SVD spectrum exceeds χ truncate, and
+// the discarded weight multiplies into FidelityLowerBound exactly like
+// the compressed engine's Eq. 11 ledger. Memory scales as O(n·χ²).
+// Ignored by the compressed backend. Default DefaultBondDim.
+func WithBondDim(chi int) Option {
+	return func(s *settings) { s.bondDim = chi }
+}
+
 // WithNoise installs a quantum-trajectories depolarizing channel: after
 // each gate, with probability prob (in [0,1)), a uniformly random Pauli
 // hits the gate's target qubit. Default 0 (noiseless).
@@ -158,6 +194,21 @@ func (s *settings) resolve(qubits int) (core.Config, float64, error) {
 	}
 	if s.noiseProb < 0 || s.noiseProb >= 1 {
 		return cfg, 0, fmt.Errorf("%w: depolarizing probability %v out of [0,1)", ErrBadConfig, s.noiseProb)
+	}
+	if s.bondDim == 0 {
+		s.bondDim = DefaultBondDim
+	}
+	if s.bondDim < 2 {
+		return cfg, 0, fmt.Errorf("%w: bond dimension %d too small (need ≥ 2)", ErrBadConfig, s.bondDim)
+	}
+	switch s.backend {
+	case "", BackendCompressed, BackendMPS, BackendAuto:
+	default:
+		return cfg, 0, fmt.Errorf("%w: unknown backend %q (have %q, %q, %q)",
+			ErrBadConfig, s.backend, BackendCompressed, BackendMPS, BackendAuto)
+	}
+	if s.backend == BackendMPS && s.noiseProb > 0 {
+		return cfg, 0, fmt.Errorf("%w: the mps backend has no noise channel (use the compressed backend)", ErrBadConfig)
 	}
 	return cfg, s.noiseProb, nil
 }

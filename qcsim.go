@@ -17,17 +17,27 @@ import (
 // the paper's Table 2.
 type Stats = core.Stats
 
-// Simulator is the public handle on the compressed-state engine: a
-// full-state Schrödinger-style simulator that keeps the 2^n-amplitude
-// state vector compressed in memory at all times (Wu et al., SC'19).
+// Simulator is the public handle on a simulation engine. The default
+// backend is the compressed full-state engine: a Schrödinger-style
+// simulator that keeps the 2^n-amplitude state vector compressed in
+// memory at all times (Wu et al., SC'19). WithBackend selects the MPS
+// (tensor-network) engine instead — polynomial memory for
+// low-entanglement circuits at any register width — or "auto", which
+// picks per circuit at the first Run.
 //
 // Construct with New, execute circuits with Run or RunProgress (state
 // persists across calls), inspect with Amplitude / ProbabilityOne /
 // Snapshot and friends, sample with Sample, and persist with Save and
-// Load. A Simulator is not safe for concurrent use; the engine
-// parallelizes internally (WithRanks, WithWorkers).
+// Load. A Simulator is not safe for concurrent use; the compressed
+// engine parallelizes internally (WithRanks, WithWorkers).
 type Simulator struct {
-	eng *core.Simulator
+	qubits int
+	// be is the live engine; nil while an auto-backend decision is
+	// still pending (see pendingAuto).
+	be backend
+	// pending defers backend construction for WithBackend("auto") until
+	// a circuit is available to analyze.
+	pending *pendingAuto
 	// sampleCache is the decompressed-block LRU size samplers built from
 	// this simulator use (WithSampleCache).
 	sampleCache int
@@ -47,16 +57,100 @@ func New(qubits int, opts ...Option) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
-	}
-	if noiseProb > 0 {
-		if err := eng.SetNoise(&core.NoiseModel{Prob: noiseProb}); err != nil {
+	p := &pendingAuto{qubits: qubits, cfg: cfg, noiseProb: noiseProb, bondDim: st.bondDim}
+	sim := &Simulator{qubits: qubits, sampleCache: st.sampleCache}
+	switch st.backend {
+	case BackendAuto:
+		// Defer the engine (and its state allocation) to the first Run,
+		// but fail fast on configurations neither candidate could use.
+		if err := cfg.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
+		sim.pending = p
+	case BackendMPS:
+		// The compressed-engine knobs (ranks, block size, levels, ...)
+		// are inert on this backend, but they must still be coherent —
+		// a config typo should not pass or fail depending on which
+		// backend name it rides in with.
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		sim.be, err = p.build(BackendMPS)
+		if err != nil {
+			return nil, err
+		}
+	default: // "" or BackendCompressed
+		sim.be, err = p.build(BackendCompressed)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return &Simulator{eng: eng, sampleCache: st.sampleCache}, nil
+	return sim, nil
+}
+
+// Backend returns the name of the engine in use: BackendCompressed or
+// BackendMPS, or BackendAuto while an auto simulator's decision is
+// still open (no circuit seen yet).
+func (s *Simulator) Backend() string {
+	if s.pending != nil {
+		return BackendAuto
+	}
+	return s.be.Name()
+}
+
+// b returns the live engine. While an auto decision is still open,
+// inspection is answered through a provisional MPS: the state so far
+// is the product state |basis⟩ — exact at any register width for free
+// — and the decision stays with the first Run, which rebuilds the
+// engine if the provisional choice was wrong (nothing has executed, so
+// nothing is lost; see run and resolveTo).
+func (s *Simulator) b() backend {
+	if s.be == nil {
+		be, err := s.pending.build(BackendMPS)
+		if err != nil {
+			// Unreachable: the provisional engine is an MPS in a basis
+			// state, whose only inputs (qubits, χ, basis) were
+			// validated by New and SetBasisState.
+			panic(fmt.Sprintf("qcsim: auto backend resolution: %v", err))
+		}
+		s.be = be
+	}
+	return s.be
+}
+
+// resolveTo closes an open auto decision on the named engine. A
+// provisional engine (built for pre-Run inspection) is kept when the
+// decision agrees with it and replaced otherwise — it has executed no
+// gates, so only its sampler stream position is discarded, and
+// samplers built on it are invalidated like any other pre-mutation
+// sampler. The recorded basis state is replayed into the new engine.
+func (s *Simulator) resolveTo(name string) error {
+	if s.be == nil || s.be.Name() != name {
+		be, err := s.pending.build(name)
+		if err != nil {
+			return err
+		}
+		if old, ok := s.be.(*mpsBackend); ok {
+			old.version++
+		}
+		s.be = be
+	}
+	s.pending = nil
+	return nil
+}
+
+// compressedOnly returns the engine for operations only the compressed
+// backend supports (Save, Load, the Assert* methods). Needing one
+// while an auto decision is open is decisive evidence for the
+// compressed engine — exactly like a circuit at Run — so it closes the
+// decision in its favor instead of failing on the provisional MPS.
+func (s *Simulator) compressedOnly() (backend, error) {
+	if s.pending != nil {
+		if err := s.resolveTo(BackendCompressed); err != nil {
+			return nil, err
+		}
+	}
+	return s.b(), nil
 }
 
 // ProgressEvent describes one completed gate of a RunProgress call.
@@ -120,9 +214,19 @@ func (s *Simulator) run(ctx context.Context, c *circuit.Circuit, fn func(Progres
 	if c == nil {
 		return nil, fmt.Errorf("%w: nil circuit", ErrBadConfig)
 	}
-	if c.N != s.eng.Qubits() {
-		return nil, fmt.Errorf("%w: circuit has %d qubits, simulator %d", ErrCircuitMismatch, c.N, s.eng.Qubits())
+	if c.N != s.qubits {
+		return nil, fmt.Errorf("%w: circuit has %d qubits, simulator %d", ErrCircuitMismatch, c.N, s.qubits)
 	}
+	if s.pending != nil && len(c.Gates) > 0 {
+		// Auto backend: this circuit is the evidence the decision was
+		// waiting for. An empty circuit is no evidence at all — it
+		// executes on the provisional engine and leaves the decision
+		// open for a circuit with actual gates.
+		if err := s.resolveTo(s.pending.choose(c)); err != nil {
+			return nil, err
+		}
+	}
+	eng := s.b()
 	var ctl core.RunControl
 	if ctx == nil {
 		ctx = context.Background()
@@ -138,23 +242,23 @@ func (s *Simulator) run(ctx context.Context, c *circuit.Circuit, fn func(Progres
 			fn(ProgressEvent{Gate: gi, Total: total, Name: g.Name, Target: g.Target})
 		}
 	}
-	gatesBefore := s.eng.GatesRun()
-	measBefore := s.eng.MeasurementCount()
-	runErr := s.eng.RunControlled(c, ctl)
+	gatesBefore := eng.GatesRun()
+	measBefore := eng.MeasurementCount()
+	runErr := eng.RunControlled(c, ctl)
 
-	all := s.eng.Measurements()
+	all := eng.Measurements()
 	res := &Result{
-		Gates:              s.eng.GatesRun() - gatesBefore,
+		Gates:              eng.GatesRun() - gatesBefore,
 		Measurements:       all[measBefore:],
-		FidelityLowerBound: s.eng.FidelityLowerBound(),
-		Footprint:          s.eng.CompressedFootprint(),
-		CompressionRatio:   s.eng.CompressionRatio(),
-		Stats:              s.eng.Stats(),
+		FidelityLowerBound: eng.FidelityLowerBound(),
+		Footprint:          eng.CompressedFootprint(),
+		CompressionRatio:   eng.CompressionRatio(),
+		Stats:              eng.Stats(),
 	}
 	if runErr != nil {
 		return res, runErr
 	}
-	if s.eng.OverBudget() {
+	if eng.OverBudget() {
 		return res, fmt.Errorf("%w: footprint %s after %d escalations", ErrBudgetExceeded,
 			FormatBytes(float64(res.Footprint)), res.Stats.Escalations)
 	}
@@ -179,48 +283,59 @@ type Snapshot struct {
 // Snapshot returns the current cumulative accounting. It never touches
 // the compressed blocks, so it is cheap and safe at any scale.
 func (s *Simulator) Snapshot() Snapshot {
-	st := s.eng.Stats()
+	be := s.b()
+	st := be.Stats()
 	return Snapshot{
-		Qubits:             s.eng.Qubits(),
-		GatesRun:           s.eng.GatesRun(),
-		Measurements:       s.eng.Measurements(),
-		FidelityLowerBound: s.eng.FidelityLowerBound(),
-		Footprint:          s.eng.CompressedFootprint(),
+		Qubits:             s.qubits,
+		GatesRun:           be.GatesRun(),
+		Measurements:       be.Measurements(),
+		FidelityLowerBound: be.FidelityLowerBound(),
+		Footprint:          be.CompressedFootprint(),
 		MaxFootprint:       st.MaxFootprint,
-		CompressionRatio:   s.eng.CompressionRatio(),
-		BytesMoved:         s.eng.BytesMoved(),
+		CompressionRatio:   be.CompressionRatio(),
+		BytesMoved:         be.BytesMoved(),
 		Stats:              st,
 	}
 }
 
 // Qubits returns the register width n.
-func (s *Simulator) Qubits() int { return s.eng.Qubits() }
+func (s *Simulator) Qubits() int { return s.qubits }
 
 // Reset reinitializes the state to |0...0⟩ and the fidelity ledger to
 // 1, keeping the configuration.
-func (s *Simulator) Reset() error { return s.eng.Reset() }
+func (s *Simulator) Reset() error {
+	if s.pending != nil {
+		s.pending.basis = 0
+	}
+	return s.b().Reset()
+}
 
 // SetBasisState reinitializes the state to |idx⟩.
 func (s *Simulator) SetBasisState(idx uint64) error {
-	if idx >= 1<<uint(s.eng.Qubits()) {
-		return fmt.Errorf("%w: basis state %d on a %d-qubit register", ErrInvalidQubit, idx, s.eng.Qubits())
+	if idx >= 1<<uint(s.qubits) {
+		return fmt.Errorf("%w: basis state %d on a %d-qubit register", ErrInvalidQubit, idx, s.qubits)
 	}
-	return s.eng.SetBasisState(idx)
+	if s.pending != nil {
+		// Record it for the auto decision's rebuild path, so the
+		// chosen engine starts in the same basis state.
+		s.pending.basis = idx
+	}
+	return s.b().SetBasisState(idx)
 }
 
 func (s *Simulator) checkQubit(q int) error {
-	if q < 0 || q >= s.eng.Qubits() {
-		return fmt.Errorf("%w: qubit %d on a %d-qubit register", ErrInvalidQubit, q, s.eng.Qubits())
+	if q < 0 || q >= s.qubits {
+		return fmt.Errorf("%w: qubit %d on a %d-qubit register", ErrInvalidQubit, q, s.qubits)
 	}
 	return nil
 }
 
 // Amplitude returns ⟨idx|ψ⟩, decompressing only the containing block.
 func (s *Simulator) Amplitude(idx uint64) (complex128, error) {
-	if idx >= 1<<uint(s.eng.Qubits()) {
-		return 0, fmt.Errorf("%w: amplitude index %d on a %d-qubit register", ErrInvalidQubit, idx, s.eng.Qubits())
+	if idx >= 1<<uint(s.qubits) {
+		return 0, fmt.Errorf("%w: amplitude index %d on a %d-qubit register", ErrInvalidQubit, idx, s.qubits)
 	}
-	return s.eng.Amplitude(idx)
+	return s.b().Amplitude(idx)
 }
 
 // maxFullStateQubits bounds FullState: past this width the decompressed
@@ -232,23 +347,23 @@ var maxFullStateQubits = 26
 // FullState decompresses and returns the whole state vector. Registers
 // wider than 26 qubits report ErrStateTooLarge.
 func (s *Simulator) FullState() ([]complex128, error) {
-	if s.eng.Qubits() > maxFullStateQubits {
+	if s.qubits > maxFullStateQubits {
 		return nil, fmt.Errorf("%w: %d qubits would allocate %s", ErrStateTooLarge,
-			s.eng.Qubits(), FormatBytes(MemoryRequirement(s.eng.Qubits())))
+			s.qubits, FormatBytes(MemoryRequirement(s.qubits)))
 	}
-	return s.eng.FullState()
+	return s.b().FullState()
 }
 
 // Norm returns Σ|aᵢ|² across the full compressed state (1 up to
 // compression error).
-func (s *Simulator) Norm() (float64, error) { return s.eng.Norm() }
+func (s *Simulator) Norm() (float64, error) { return s.b().Norm() }
 
 // ProbabilityOne returns P(qubit q = 1) without collapsing the state.
 func (s *Simulator) ProbabilityOne(q int) (float64, error) {
 	if err := s.checkQubit(q); err != nil {
 		return 0, err
 	}
-	return s.eng.ProbabilityOne(q)
+	return s.b().ProbabilityOne(q)
 }
 
 // ExpectationZ returns ⟨Z_q⟩ = P(q=0) - P(q=1).
@@ -256,7 +371,7 @@ func (s *Simulator) ExpectationZ(q int) (float64, error) {
 	if err := s.checkQubit(q); err != nil {
 		return 0, err
 	}
-	return s.eng.ExpectationZ(q)
+	return s.b().ExpectationZ(q)
 }
 
 // ExpectationZZ returns the two-point correlator ⟨Z_a Z_b⟩.
@@ -267,7 +382,7 @@ func (s *Simulator) ExpectationZZ(a, b int) (float64, error) {
 	if err := s.checkQubit(b); err != nil {
 		return 0, err
 	}
-	return s.eng.ExpectationZZ(a, b)
+	return s.b().ExpectationZZ(a, b)
 }
 
 // MaxCutEnergy returns the expected cut value Σ_edges (1 - ⟨Z_u Z_v⟩)/2
@@ -283,7 +398,7 @@ func (s *Simulator) MaxCutEnergy(edges []circuit.Edge) (float64, error) {
 		}
 		cut[i] = core.CutEdge{U: e.U, V: e.V}
 	}
-	return s.eng.MaxCutEnergy(cut)
+	return s.b().MaxCutEnergy(cut)
 }
 
 // AssertClassical checks that qubit q reads `value` with probability at
@@ -293,7 +408,11 @@ func (s *Simulator) AssertClassical(q, value int, tol float64) error {
 	if err := s.checkQubit(q); err != nil {
 		return err
 	}
-	return s.eng.AssertClassical(q, value, tol)
+	be, err := s.compressedOnly()
+	if err != nil {
+		return err
+	}
+	return be.AssertClassical(q, value, tol)
 }
 
 // AssertSuperposition checks that qubit q is in an approximately
@@ -302,7 +421,11 @@ func (s *Simulator) AssertSuperposition(q int, tol float64) error {
 	if err := s.checkQubit(q); err != nil {
 		return err
 	}
-	return s.eng.AssertSuperposition(q, tol)
+	be, err := s.compressedOnly()
+	if err != nil {
+		return err
+	}
+	return be.AssertSuperposition(q, tol)
 }
 
 // AssertProduct checks that qubits a and b are approximately
@@ -315,12 +438,16 @@ func (s *Simulator) AssertProduct(a, b int, tol float64) error {
 	if err := s.checkQubit(b); err != nil {
 		return err
 	}
-	return s.eng.AssertProduct(a, b, tol)
+	be, err := s.compressedOnly()
+	if err != nil {
+		return err
+	}
+	return be.AssertProduct(a, b, tol)
 }
 
 // Measurements returns the outcomes of every measurement gate executed
 // so far, in order.
-func (s *Simulator) Measurements() []int { return s.eng.Measurements() }
+func (s *Simulator) Measurements() []int { return s.b().Measurements() }
 
 // Sample draws `shots` full-register outcomes from the simulator's own
 // seeded stream (WithSeed) without collapsing the state. The draw
@@ -342,26 +469,30 @@ func (s *Simulator) Sample(shots int) ([]uint64, error) {
 	return sp.sample(shots)
 }
 
-// Sampler draws shots directly from the compressed state through a
-// two-level CDF built once at construction: one pass over the
-// compressed blocks computes per-block probability masses, and each
-// shot then binary-searches the block prefix sums and decompresses
-// only its hit block (through an LRU sized by WithSampleCache). Draws
-// are normalized by the true total mass, so lossy-codec norm loss
-// never skews outcomes. A Sampler reads the state it was built from;
-// once the simulator mutates (Run, Reset, SetBasisState, Load), Sample
-// reports ErrStaleSampler and a fresh Sampler must be built. Like the
+// Sampler draws shots directly from the backend's probability tables,
+// built once at construction. On the compressed backend that is a
+// two-level CDF: one pass over the compressed blocks computes per-block
+// probability masses, and each shot binary-searches the block prefix
+// sums and decompresses only its hit block (through an LRU sized by
+// WithSampleCache); draws are normalized by the true total mass, so
+// lossy-codec norm loss never skews outcomes. On the mps backend it is
+// perfect sampling by qubit-by-qubit conditional contraction over
+// precomputed right environments — O(n·χ²) per shot, no 2^n vector.
+// Either way, a Sampler reads the state it was built from; once the
+// simulator mutates (Run, Reset, SetBasisState, Load), Sample reports
+// ErrStaleSampler and a fresh Sampler must be built. Like the
 // Simulator, a Sampler is not safe for concurrent use.
 type Sampler struct {
-	sp *core.Sampler
+	sp backendSampler
 }
 
-// Sampler builds the sampling tables for the current state: one
-// worker-pool pass over the compressed blocks, never materializing the
-// full vector — shot-based readout works on registers far past what
-// FullState can allocate.
+// Sampler builds the sampling tables for the current state — one
+// worker-pool pass over the compressed blocks, or one environment sweep
+// over the MPS tensors — never materializing the full vector, so
+// shot-based readout works on registers far past what FullState can
+// allocate.
 func (s *Simulator) Sampler() (*Sampler, error) {
-	sp, err := s.eng.NewSampler(s.sampleCache)
+	sp, err := s.b().NewSampler(s.sampleCache)
 	if err != nil {
 		return nil, err
 	}
@@ -384,7 +515,7 @@ func (sp *Sampler) Sample(shots int) ([]uint64, error) {
 }
 
 func (sp *Sampler) sample(shots int) ([]uint64, error) {
-	out, err := sp.sp.Sample(nil, shots)
+	out, err := sp.sp.Sample(shots)
 	if err != nil {
 		if errors.Is(err, core.ErrSamplerStale) {
 			return nil, fmt.Errorf("%w: %v", ErrStaleSampler, err)
@@ -395,39 +526,58 @@ func (sp *Sampler) sample(shots int) ([]uint64, error) {
 }
 
 // Stats returns the cumulative aggregate accounting across ranks.
-func (s *Simulator) Stats() Stats { return s.eng.Stats() }
+func (s *Simulator) Stats() Stats { return s.b().Stats() }
 
 // FidelityLowerBound returns the running fidelity ledger Π(1-δᵢ) over
 // all executed gates (the paper's Eq. 11).
-func (s *Simulator) FidelityLowerBound() float64 { return s.eng.FidelityLowerBound() }
+func (s *Simulator) FidelityLowerBound() float64 { return s.b().FidelityLowerBound() }
 
 // CompressedFootprint returns the current compressed state size in
 // bytes, summed across ranks.
-func (s *Simulator) CompressedFootprint() int64 { return s.eng.CompressedFootprint() }
+func (s *Simulator) CompressedFootprint() int64 { return s.b().CompressedFootprint() }
 
 // CompressionRatio returns uncompressed-state-bytes over the current
 // compressed footprint.
-func (s *Simulator) CompressionRatio() float64 { return s.eng.CompressionRatio() }
+func (s *Simulator) CompressionRatio() float64 { return s.b().CompressionRatio() }
 
 // GatesRun returns the number of gates executed so far across all
 // runs.
-func (s *Simulator) GatesRun() int { return s.eng.GatesRun() }
+func (s *Simulator) GatesRun() int { return s.b().GatesRun() }
 
 // BytesMoved returns the cumulative cross-rank communication volume in
 // bytes.
-func (s *Simulator) BytesMoved() int64 { return s.eng.BytesMoved() }
+func (s *Simulator) BytesMoved() int64 { return s.b().BytesMoved() }
 
 // Save writes a self-describing, checksummed checkpoint of the full
 // simulator state (compressed blocks as-is, ledger, measurement log) to
-// w — the paper's §3.5 wall-time-limit workflow.
-func (s *Simulator) Save(w io.Writer) error { return s.eng.Save(w) }
+// w — the paper's §3.5 wall-time-limit workflow. The mps backend has no
+// checkpoint format and reports ErrUnsupportedOp; on an undecided auto
+// simulator, needing a checkpoint closes the decision on the
+// compressed engine.
+func (s *Simulator) Save(w io.Writer) error {
+	be, err := s.compressedOnly()
+	if err != nil {
+		return err
+	}
+	return be.Save(w)
+}
 
 // Load restores a checkpoint written by Save. The simulator must have
 // been built with the same qubit count, ranks, and block size; any
 // mismatch, corruption, or undecodable block reports ErrBadCheckpoint
-// without modifying the current state.
+// without modifying the current state. The mps backend reports
+// ErrUnsupportedOp; on an undecided auto simulator, a checkpoint is
+// compressed-engine state, so Load closes the decision on the
+// compressed engine (the -resume-before-Run CLI workflow).
 func (s *Simulator) Load(r io.Reader) error {
-	if err := s.eng.Load(r); err != nil {
+	be, err := s.compressedOnly()
+	if err != nil {
+		return err
+	}
+	if err := be.Load(r); err != nil {
+		if errors.Is(err, ErrUnsupportedOp) {
+			return err
+		}
 		return fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
 	return nil

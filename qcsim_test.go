@@ -44,7 +44,7 @@ func TestOptionRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if cfg := sim.eng.Config(); !tc.check(cfg) {
+			if cfg := sim.be.(compressedBackend).Config(); !tc.check(cfg) {
 				t.Fatalf("option did not round-trip into core.Config: %+v", cfg)
 			}
 		})
