@@ -1,6 +1,7 @@
 package qcsim
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -82,6 +83,10 @@ type backend interface {
 	// Checkpointing (ErrUnsupportedOp where not implemented).
 	Save(w io.Writer) error
 	Load(r io.Reader) error
+
+	// Close releases engine resources (the compressed backend's spill
+	// files when WithSpill is active; a no-op everywhere else).
+	Close() error
 }
 
 // backendSampler is the readout handle contract behind the public
@@ -162,10 +167,17 @@ func (p *pendingAuto) build(name string) (backend, error) {
 	} else {
 		eng, err := core.New(p.cfg)
 		if err != nil {
+			if errors.Is(err, ErrSpill) {
+				// A spill-tier I/O failure (unwritable spill dir, disk
+				// full during Reset) is not a configuration mistake;
+				// keep the ErrSpill identity for errors.Is.
+				return nil, err
+			}
 			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 		if p.noiseProb > 0 {
 			if err := eng.SetNoise(&core.NoiseModel{Prob: p.noiseProb}); err != nil {
+				eng.Close()
 				return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 			}
 		}

@@ -180,6 +180,9 @@ func (b *mpsBackend) AssertProduct(a, c int, tol float64) error {
 func (b *mpsBackend) Save(w io.Writer) error { return b.unsupported("checkpoint") }
 func (b *mpsBackend) Load(r io.Reader) error { return b.unsupported("checkpoint") }
 
+// Close: the MPS engine holds no resources beyond RAM.
+func (b *mpsBackend) Close() error { return nil }
+
 // unsupported reports op through the mps package's typed error so the
 // facade sentinel (ErrUnsupportedOp) and the structured
 // *mps.UnsupportedOpError both match.

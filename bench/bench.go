@@ -33,3 +33,17 @@ func IDs() []string { return harness.IDs() }
 
 // ExportCSV writes every figure's data as CSV files into dir.
 func ExportCSV(dir string, opt Options) error { return harness.ExportCSV(dir, opt) }
+
+// Snapshot bundles one run of the structured experiments (sweep,
+// sampling, crossover, spill) for a committed BENCH_N.json baseline.
+type Snapshot = harness.BenchSnapshot
+
+// SpillRow is one workload of the out-of-core spill experiment.
+type SpillRow = harness.SpillRow
+
+// SpillResults runs the spill experiment and returns its rows.
+func SpillResults(opt Options) ([]SpillRow, error) { return harness.SpillResults(opt) }
+
+// WriteJSONFile writes a Snapshot of the structured experiments at the
+// given scale to path, indented.
+func WriteJSONFile(path string, opt Options) error { return harness.WriteJSONFile(path, opt) }

@@ -19,6 +19,7 @@ func main() {
 	small := flag.Bool("small", false, "run at the fast CI scale")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "export figure data as CSV files into this directory")
+	jsonPath := flag.String("json", "", "write a machine-readable snapshot of the structured experiments (sweep, sampling, crossover, spill) to this file")
 	workers := flag.Int("workers", 0, "worker goroutines per rank in simulator runs (0 = NumCPU/ranks)")
 	sweeps := flag.Bool("sweeps", true, "use the sweep scheduler in simulator runs (off reproduces the paper's one-pass-per-gate cost model)")
 	backendName := flag.String("backend", "", "restrict the crossover experiment to one engine: mps|compressed (default: both)")
@@ -47,6 +48,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("CSV data written to %s\n", *csvDir)
+		return
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteJSONFile(*jsonPath, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: json snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("JSON snapshot written to %s\n", *jsonPath)
 		return
 	}
 	run := func(e bench.Experiment) {

@@ -47,6 +47,8 @@ func main() {
 		checkpoint  = flag.String("checkpoint", "", "write a checkpoint file after the run")
 		resume      = flag.String("resume", "", "load a checkpoint file before the run")
 		uncomp      = flag.Bool("uncompressed", false, "run the uncompressed baseline")
+		spillDir    = flag.String("spill", "", "spill directory: keep at most -spill-ram bytes of compressed blocks per rank in RAM, the rest in temp files here (removed on exit)")
+		spillRAM    = flag.Int64("spill-ram", 0, "per-rank resident budget in bytes for -spill (0 = adopt the -budget-frac budget)")
 		noise       = flag.Float64("noise", 0, "per-gate depolarizing probability")
 		fuse        = flag.Bool("fuse", false, "fuse adjacent single-qubit gates before execution")
 		sweeps      = flag.Bool("sweeps", true, "batch runs of block-local gates into one codec pass per block (off reproduces the paper's one-pass-per-gate cost model)")
@@ -113,10 +115,14 @@ func main() {
 	if *codec != "" {
 		opts = append(opts, qcsim.WithCodec(*codec))
 	}
+	if *spillDir != "" || *spillRAM > 0 {
+		opts = append(opts, qcsim.WithSpill(*spillDir, *spillRAM))
+	}
 	sim, err := qcsim.New(cir.N, opts...)
 	if err != nil {
 		fail(err)
 	}
+	defer sim.Close()
 	if *resume != "" {
 		f, err := os.Open(*resume)
 		if err != nil {
@@ -183,6 +189,11 @@ func main() {
 	if st.Sweeps > 0 {
 		fmt.Printf("sweep scheduler      %d sweeps over %d gates; %d codec passes saved (%d codec calls total)\n",
 			st.Sweeps, st.SweepGates, st.CodecPassesSaved, st.CompressCalls+st.DecompressCalls)
+	}
+	if st.SpillWrites > 0 || st.SpillReads > 0 {
+		fmt.Printf("spill tier           %s on disk now, resident high-water %s; %d writes, %d demand reads, %d/%d prefetch hits\n",
+			qcsim.FormatBytes(float64(st.SpilledBytes)), qcsim.FormatBytes(float64(st.MaxResident)),
+			st.SpillWrites, st.SpillReads, st.PrefetchHits, st.PrefetchHits+st.SpillReads)
 	}
 	if ms := sim.Measurements(); len(ms) > 0 {
 		fmt.Printf("measurements         %v\n", ms)

@@ -127,6 +127,35 @@
 // Stats reports Sweeps, SweepGates, CodecPassesSaved, and the total
 // CompressCalls/DecompressCalls the run issued.
 //
+// # Memory tiers
+//
+// All block storage goes through one seam (the BlockStore interface in
+// internal/blockstore) with two implementations: the default in-RAM
+// table, and a tiered RAM → disk store enabled with WithSpill(dir,
+// ramBudget). The tiered store caps the resident compressed bytes per
+// rank at ramBudget and evicts the coldest blocks to a per-rank temp
+// file under dir; blocks hinted by the sweep planner's visit order or
+// the sampler's sorted draw order are staged back by a background
+// prefetcher before their turn. Eviction is Belady-style: among hinted
+// blocks, the one whose next use lies farthest in the future goes
+// first. Results are bit-identical to the in-RAM store for every
+// codec, geometry, and worker count.
+//
+// Spilling changes what the §3.7 budget presses on: WithMemoryBudget
+// historically bounded the compressed footprint, but with a disk tier
+// the footprint may exceed RAM harmlessly, so the ladder becomes
+// spill first (no fidelity cost), escalate the error level only when
+// the resident set still cannot fit, and report over-budget only when
+// both run out. Without WithSpill, resident equals footprint and the
+// behavior is exactly the paper's. Disk failures surface as errors
+// wrapping ErrSpill; Close releases the spill files (they are also
+// removed if New fails partway). Prefetch effectiveness is
+// timing-dependent: staging wins when per-block codec work and real
+// disk latency dominate — the regime out-of-core states live in —
+// while page-cached demand reads at benchmark scale often win the
+// race at no cost. Stats reports MaxResident, SpilledBytes,
+// SpillWrites/SpillReads, and PrefetchReads/PrefetchHits.
+//
 // # Codec registry
 //
 // Compressors are selected by name: WithCodec("sz-a") on a simulator,

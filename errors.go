@@ -3,6 +3,7 @@ package qcsim
 import (
 	"errors"
 
+	"qcsim/internal/blockstore"
 	"qcsim/internal/mps"
 )
 
@@ -69,3 +70,12 @@ var (
 // rejected operation; it is the same sentinel internal/mps uses, so
 // errors.Is works across the facade boundary.
 var ErrUnsupportedOp = mps.ErrUnsupportedOp
+
+// ErrSpill reports an I/O failure in the disk spill tier enabled by
+// WithSpill: the spill directory could not host the per-rank spill
+// file at New, or a spill write/read failed mid-run. It is distinct
+// from ErrBadConfig — the option set was valid, the disk was not —
+// and from ErrBudgetExceeded, which is about the error-bound ladder,
+// not storage. It is the same sentinel internal/blockstore uses, so
+// errors.Is works across the facade boundary.
+var ErrSpill = blockstore.ErrSpill

@@ -1,0 +1,50 @@
+package blockstore
+
+import "sync"
+
+// ram is the default single-tier store: the old [][]byte block table
+// with the footprint delta accounting moved inside. Everything is
+// resident; hints are no-ops and WantHints lets callers skip even
+// building them.
+type ram struct {
+	mu        sync.Mutex
+	blocks    [][]byte
+	footprint int64
+}
+
+// NewRAM returns an in-memory store with n empty block slots.
+func NewRAM(n int) Store {
+	return &ram{blocks: make([][]byte, n)}
+}
+
+func (r *ram) Get(b int) ([]byte, error) {
+	r.mu.Lock()
+	blob := r.blocks[b]
+	r.mu.Unlock()
+	return blob, nil
+}
+
+func (r *ram) Peek(b int) ([]byte, error) { return r.Get(b) }
+
+func (r *ram) Put(b int, blob []byte) error {
+	r.mu.Lock()
+	r.footprint += int64(len(blob)) - int64(len(r.blocks[b]))
+	r.blocks[b] = blob
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *ram) Len() int { return len(r.blocks) }
+
+func (r *ram) Footprint() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.footprint
+}
+
+func (r *ram) Resident() int64 { return r.Footprint() }
+
+func (r *ram) WantHints() bool          { return false }
+func (r *ram) PrefetchHint(order []int) {}
+func (r *ram) Stats() Stats             { return Stats{} }
+func (r *ram) Close() error             { return nil }

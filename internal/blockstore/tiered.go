@@ -1,0 +1,517 @@
+package blockstore
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// slot states: a block is empty (never Put), resident in RAM, or
+// spilled to disk — exactly one at a time.
+const (
+	slotEmpty uint8 = iota
+	slotRAM
+	slotDisk
+)
+
+// extent is a byte range in the spill file.
+type extent struct{ off, size int64 }
+
+// entry is one block slot of a tiered store.
+type entry struct {
+	state uint8
+	blob  []byte        // valid when state == slotRAM
+	ext   extent        // valid when state == slotDisk
+	el    *list.Element // LRU node while resident (nil for empty blobs)
+	// gen bumps on every state transition; the prefetcher snapshots
+	// it before its unlocked ReadAt and installs the bytes only if
+	// the slot has not changed underneath it.
+	gen uint64
+	// expected marks blocks named by the current prefetch hint: the
+	// evictor skips them (they are about to be read) unless nothing
+	// else can go, and pos — the block's first position in the hint
+	// order — breaks the tie Belady-style: the expected block visited
+	// farthest in the future goes first, since the prefetcher will
+	// stage it back closer to its turn.
+	expected bool
+	pos      int
+	// prefetched marks a resident blob staged by the prefetcher and
+	// not yet consumed; the first Get on it counts a PrefetchHits.
+	prefetched bool
+}
+
+// Tiered is the two-tier store: blobs up to ramBudget resident
+// bytes stay in RAM; beyond that the coldest (least-recently-used,
+// unhinted) blobs evict to a per-store spill file and are read back
+// on demand or — when the caller announces its visit order — ahead
+// of demand by a background prefetcher, so disk reads overlap the
+// codec work of earlier blocks.
+type Tiered struct {
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on resident-set changes; prefetcher waits for headroom
+
+	entries   []entry
+	lru       *list.List // of int block indices; front = most recent
+	resident  int64
+	spilled   int64
+	ramBudget int64
+
+	f       *os.File
+	free    []extent // free holes in the spill file, sorted by offset
+	fileEnd int64
+
+	st      Stats
+	hintGen uint64 // bumps per PrefetchHint; abandons stale prefetch passes
+	hints   chan []int
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewTiered creates a tiered store with n block slots, spilling to a
+// fresh temp file in dir (label distinguishes per-rank files in
+// error messages and temp names). ramBudget is the cap on resident
+// compressed bytes; it must be positive. Failures creating the
+// spill file wrap ErrSpill.
+func NewTiered(n int, dir, label string, ramBudget int64) (*Tiered, error) {
+	if ramBudget <= 0 {
+		return nil, fmt.Errorf("%w: non-positive RAM budget %d", ErrSpill, ramBudget)
+	}
+	f, err := os.CreateTemp(dir, "qcsim-spill-"+label+"-*.bin")
+	if err != nil {
+		return nil, fmt.Errorf("%w: creating spill file in %q: %v", ErrSpill, dir, err)
+	}
+	t := &Tiered{
+		entries:   make([]entry, n),
+		lru:       list.New(),
+		ramBudget: ramBudget,
+		f:         f,
+		hints:     make(chan []int, 1),
+		done:      make(chan struct{}),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	t.wg.Add(1)
+	go t.prefetchLoop()
+	return t, nil
+}
+
+func (t *Tiered) Len() int { return len(t.entries) }
+
+func (t *Tiered) Footprint() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.resident + t.spilled
+}
+
+func (t *Tiered) Resident() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.resident
+}
+
+func (t *Tiered) WantHints() bool { return true }
+
+func (t *Tiered) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.st
+	st.SpilledBytes = t.spilled
+	return st
+}
+
+func (t *Tiered) Put(b int, blob []byte) error {
+	t.mu.Lock()
+	defer func() {
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}()
+	if t.closed {
+		return fmt.Errorf("%w: store is closed", ErrSpill)
+	}
+	t.dropLocked(b)
+	e := &t.entries[b]
+	e.state = slotRAM
+	e.blob = blob
+	e.gen++
+	t.resident += int64(len(blob))
+	if len(blob) > 0 {
+		e.el = t.lru.PushFront(b)
+	}
+	return t.evictLocked()
+}
+
+func (t *Tiered) Get(b int) ([]byte, error) {
+	t.mu.Lock()
+	defer func() {
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}()
+	if t.closed {
+		return nil, fmt.Errorf("%w: store is closed", ErrSpill)
+	}
+	e := &t.entries[b]
+	e.expected = false
+	if e.state != slotDisk {
+		if e.prefetched {
+			e.prefetched = false
+			t.st.PrefetchHits++
+		}
+		if e.el != nil {
+			t.lru.MoveToFront(e.el)
+		}
+		return e.blob, nil
+	}
+	// Prefetch miss: read back synchronously. The ReadAt happens
+	// under the lock — the slot must not move while we read it, and
+	// a worker stalled here was going to stall on the disk anyway.
+	t.st.SpillReads++
+	buf := make([]byte, e.ext.size)
+	if _, err := t.f.ReadAt(buf, e.ext.off); err != nil {
+		return nil, fmt.Errorf("%w: reading block %d back: %v", ErrSpill, b, err)
+	}
+	t.promoteLocked(b, buf)
+	return buf, t.evictLocked()
+}
+
+func (t *Tiered) Peek(b int) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("%w: store is closed", ErrSpill)
+	}
+	e := &t.entries[b]
+	if e.state != slotDisk {
+		return e.blob, nil
+	}
+	buf := make([]byte, e.ext.size)
+	if _, err := t.f.ReadAt(buf, e.ext.off); err != nil {
+		return nil, fmt.Errorf("%w: reading block %d back: %v", ErrSpill, b, err)
+	}
+	return buf, nil
+}
+
+// PrefetchHint replaces the pending visit order: the named blocks
+// are protected from eviction and the prefetcher stages spilled ones
+// back into RAM (newest hint wins; an in-flight pass over the old
+// hint is abandoned at its next block).
+func (t *Tiered) PrefetchHint(order []int) {
+	ord := append([]int(nil), order...)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.hintGen++
+	for i := range t.entries {
+		t.entries[i].expected = false
+		t.entries[i].pos = -1
+	}
+	for i, b := range ord {
+		if !t.entries[b].expected {
+			t.entries[b].expected = true
+			t.entries[b].pos = i
+		}
+	}
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	// Replace the queued hint (buffer of one). The owner goroutine
+	// is the only sender, so after the drain the send cannot block.
+	select {
+	case <-t.hints:
+	default:
+	}
+	select {
+	case t.hints <- ord:
+	default:
+	}
+}
+
+// Close stops the prefetcher and removes the spill file. Idempotent.
+func (t *Tiered) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	close(t.done)
+	t.wg.Wait()
+	name := t.f.Name()
+	err := t.f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	if err != nil {
+		return fmt.Errorf("%w: closing spill file: %v", ErrSpill, err)
+	}
+	return nil
+}
+
+// dropLocked releases whatever block b currently holds (RAM bytes,
+// LRU node, disk extent) and leaves the slot empty.
+func (t *Tiered) dropLocked(b int) {
+	e := &t.entries[b]
+	switch e.state {
+	case slotRAM:
+		t.resident -= int64(len(e.blob))
+		if e.el != nil {
+			t.lru.Remove(e.el)
+		}
+	case slotDisk:
+		t.spilled -= e.ext.size
+		t.freeExt(e.ext)
+	}
+	e.state = slotEmpty
+	e.blob = nil
+	e.ext = extent{}
+	e.el = nil
+	e.prefetched = false
+	e.gen++
+}
+
+// promoteLocked installs buf as block b's resident blob, releasing
+// its disk extent.
+func (t *Tiered) promoteLocked(b int, buf []byte) {
+	e := &t.entries[b]
+	t.spilled -= e.ext.size
+	t.freeExt(e.ext)
+	e.ext = extent{}
+	e.state = slotRAM
+	e.blob = buf
+	t.resident += int64(len(buf))
+	e.el = t.lru.PushFront(b)
+	e.prefetched = false
+	e.gen++
+}
+
+// coldestLocked picks the eviction victim: the oldest LRU element
+// that is not hinted, or — when everything evictable is hinted — the
+// hinted element whose visit position lies farthest in the future,
+// provided it is past minPos. The most-recently-used blob is never a
+// victim, so the block a worker just produced or fetched stays put.
+// Consumer eviction passes minPos -1 (any hinted block may go);
+// the prefetcher passes the position it is staging for, so it never
+// evicts a block needed sooner than the one it would admit.
+func (t *Tiered) coldestLocked(minPos int) *list.Element {
+	if t.lru.Len() < 2 {
+		return nil
+	}
+	var best *list.Element
+	bestPos := minPos
+	for el := t.lru.Back(); el != nil && el != t.lru.Front(); el = el.Prev() {
+		e := &t.entries[el.Value.(int)]
+		if !e.expected {
+			return el
+		}
+		if e.pos > bestPos {
+			best, bestPos = el, e.pos
+		}
+	}
+	return best
+}
+
+// spillVictimLocked writes one resident blob out to the spill file.
+func (t *Tiered) spillVictimLocked(victim *list.Element) error {
+	b := victim.Value.(int)
+	e := &t.entries[b]
+	ext := t.alloc(int64(len(e.blob)))
+	if _, err := t.f.WriteAt(e.blob, ext.off); err != nil {
+		t.freeExt(ext)
+		return fmt.Errorf("%w: spilling block %d: %v", ErrSpill, b, err)
+	}
+	t.lru.Remove(victim)
+	t.resident -= int64(len(e.blob))
+	t.spilled += ext.size
+	e.state = slotDisk
+	e.blob = nil
+	e.ext = ext
+	e.el = nil
+	e.prefetched = false
+	e.gen++
+	t.st.SpillWrites++
+	return nil
+}
+
+// evictLocked writes cold blobs out until the resident bytes fit the
+// budget.
+func (t *Tiered) evictLocked() error {
+	for t.resident > t.ramBudget {
+		victim := t.coldestLocked(-1)
+		if victim == nil {
+			return nil
+		}
+		if err := t.spillVictimLocked(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// makeRoomLocked evicts blobs on the prefetcher's behalf until `need`
+// more bytes fit under the budget, taking only blocks hinted later
+// than pos (or not hinted at all). It returns false when no such
+// victim remains — everything resident is needed sooner than the
+// block being staged — in which case the prefetcher waits for the
+// consumer to free room instead of thrashing.
+func (t *Tiered) makeRoomLocked(need int64, pos int) bool {
+	for t.resident+need > t.ramBudget {
+		victim := t.coldestLocked(pos)
+		if victim == nil {
+			return false
+		}
+		if t.spillVictimLocked(victim) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// alloc carves size bytes out of the spill file: first fit from the
+// free list, else the end of the file.
+func (t *Tiered) alloc(size int64) extent {
+	for i, fe := range t.free {
+		if fe.size >= size {
+			ext := extent{fe.off, size}
+			fe.off += size
+			fe.size -= size
+			if fe.size == 0 {
+				t.free = append(t.free[:i], t.free[i+1:]...)
+			} else {
+				t.free[i] = fe
+			}
+			return ext
+		}
+	}
+	ext := extent{t.fileEnd, size}
+	t.fileEnd += size
+	return ext
+}
+
+// freeExt returns an extent to the free list, coalescing with its
+// neighbours and shrinking the file-end watermark when the tail
+// frees up, so the spill file's size tracks the live spilled bytes
+// plus fragmentation rather than growing monotonically.
+func (t *Tiered) freeExt(e extent) {
+	if e.size == 0 {
+		return
+	}
+	i := sort.Search(len(t.free), func(i int) bool { return t.free[i].off >= e.off })
+	t.free = append(t.free, extent{})
+	copy(t.free[i+1:], t.free[i:])
+	t.free[i] = e
+	if i+1 < len(t.free) && t.free[i].off+t.free[i].size == t.free[i+1].off {
+		t.free[i].size += t.free[i+1].size
+		t.free = append(t.free[:i+1], t.free[i+2:]...)
+	}
+	if i > 0 && t.free[i-1].off+t.free[i-1].size == t.free[i].off {
+		t.free[i-1].size += t.free[i].size
+		t.free = append(t.free[:i], t.free[i+1:]...)
+	}
+	if n := len(t.free); n > 0 && t.free[n-1].off+t.free[n-1].size == t.fileEnd {
+		t.fileEnd = t.free[n-1].off
+		t.free = t.free[:n-1]
+	}
+}
+
+func (t *Tiered) prefetchLoop() {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.done:
+			return
+		case ord := <-t.hints:
+			t.prefetch(ord)
+		}
+	}
+}
+
+// prefetchBatch bounds how many blocks one staging round reads under
+// a single pair of lock holds. Batching is what makes the prefetcher
+// competitive: with one lock round per block it loses nearly every
+// acquisition race against the consumer's Get/Put traffic and its
+// reads arrive too late to install.
+const prefetchBatch = 8
+
+// stageJob is one spilled block a staging round has reserved room
+// for: its extent and generation snapshot, read outside the lock and
+// installed only if the slot did not change underneath the read.
+type stageJob struct {
+	b   int
+	ext extent
+	gen uint64
+}
+
+// prefetch stages the hinted blocks in visit order, a batch at a
+// time: under one lock hold it skips consumed blocks (a cleared
+// expected flag means the consumer already took them — staging those
+// would fill the budget with blocks behind the consumer), makes room
+// by evicting blocks hinted later than the ones being staged, and
+// reserves their bytes; then it reads the batch outside the lock and
+// installs whatever still matches its generation snapshot. When
+// nothing is stageable — everything resident is needed sooner — it
+// waits for the consumer to advance. Read errors are left for the
+// consumer's own Get to surface.
+func (t *Tiered) prefetch(ord []int) {
+	t.mu.Lock()
+	myGen := t.hintGen
+	i := 0
+	for {
+		if t.closed || t.hintGen != myGen {
+			t.mu.Unlock()
+			return
+		}
+		var jobs []stageJob
+		var reserve int64
+		for i < len(ord) && len(jobs) < prefetchBatch {
+			e := &t.entries[ord[i]]
+			if !e.expected || e.state != slotDisk {
+				i++
+				continue
+			}
+			if !t.makeRoomLocked(reserve+e.ext.size, e.pos) {
+				break
+			}
+			jobs = append(jobs, stageJob{ord[i], e.ext, e.gen})
+			reserve += e.ext.size
+			i++
+		}
+		if len(jobs) == 0 {
+			if i >= len(ord) {
+				t.mu.Unlock()
+				return
+			}
+			t.cond.Wait()
+			continue
+		}
+		t.mu.Unlock()
+		bufs := make([][]byte, len(jobs))
+		for j, jb := range jobs {
+			buf := make([]byte, jb.ext.size)
+			if _, err := t.f.ReadAt(buf, jb.ext.off); err == nil {
+				bufs[j] = buf
+			}
+		}
+		t.mu.Lock()
+		if t.closed || t.hintGen != myGen {
+			t.mu.Unlock()
+			return
+		}
+		installed := false
+		for j, jb := range jobs {
+			e := &t.entries[jb.b]
+			if bufs[j] != nil && e.gen == jb.gen {
+				t.promoteLocked(jb.b, bufs[j])
+				e.prefetched = true
+				t.st.PrefetchReads++
+				installed = true
+			}
+		}
+		if installed {
+			t.cond.Broadcast()
+		}
+	}
+}

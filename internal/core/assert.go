@@ -80,8 +80,12 @@ func (s *Simulator) jointDistribution(a, b int) ([4]float64, error) {
 	}
 	scratch := make([]float64, 2*s.blockAmps())
 	for r, rs := range s.ranks {
-		for blk := range rs.blocks {
-			if err := s.decodeBlob(rs.blocks[blk], scratch); err != nil {
+		for blk := 0; blk < s.blocksPerRank(); blk++ {
+			blob, err := rs.store.Peek(blk)
+			if err != nil {
+				return joint, err
+			}
+			if err := s.decodeBlob(blob, scratch); err != nil {
 				return joint, err
 			}
 			base := s.compose(r, blk, 0)

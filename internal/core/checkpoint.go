@@ -6,11 +6,18 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+
+	"qcsim/internal/blockstore"
 )
 
 // Checkpointing (§3.5): the compressed blocks are written out as-is so a
 // job killed by a wall-time limit can resume from the last gate
-// boundary. The format is self-describing and checksummed.
+// boundary. The format is self-describing and checksummed. Both
+// directions stream block-at-a-time through the block store: Save
+// never needs the whole table resident (spilled blocks are read
+// straight from the spill file via Peek), and Load stages incoming
+// blocks into fresh stores that may themselves spill — a state larger
+// than RAM checkpoints and restores without ever materializing in RAM.
 
 var checkpointMagic = [8]byte{'Q', 'C', 'S', 'I', 'M', 'C', 'K', '1'}
 
@@ -41,14 +48,21 @@ func (s *Simulator) Save(w io.Writer) error {
 			return err
 		}
 	}
+	nb := s.blocksPerRank()
 	for _, rs := range s.ranks {
 		if err := binary.Write(mw, binary.LittleEndian, uint8(rs.level)); err != nil {
 			return err
 		}
-		if err := binary.Write(mw, binary.LittleEndian, uint32(len(rs.blocks))); err != nil {
+		if err := binary.Write(mw, binary.LittleEndian, uint32(nb)); err != nil {
 			return err
 		}
-		for _, blob := range rs.blocks {
+		for b := 0; b < nb; b++ {
+			// Peek, not Get: a checkpoint of a partially spilled state
+			// must not thrash the resident set the next gates rely on.
+			blob, err := rs.store.Peek(b)
+			if err != nil {
+				return err
+			}
 			if err := binary.Write(mw, binary.LittleEndian, uint32(len(blob))); err != nil {
 				return err
 			}
@@ -65,6 +79,13 @@ func (s *Simulator) Save(w io.Writer) error {
 // simulator must have been built with the same Qubits, Ranks, and
 // BlockAmps geometry (codecs may differ only if they can decode the
 // stored blocks).
+//
+// Blocks stream into per-rank staging stores as they are read — under
+// a spill configuration they may go straight to disk, so restoring
+// never needs the whole table in RAM. Every blob is decode-validated
+// on the way in, and the live state is swapped only after the
+// trailing checksum verifies: any failure leaves the simulator
+// exactly as it was.
 func (s *Simulator) Load(r io.Reader) error {
 	h := fnv.New64a()
 	tr := io.TeeReader(r, h)
@@ -100,67 +121,84 @@ func (s *Simulator) Load(r io.Reader) error {
 		}
 		meas[i] = int(m)
 	}
-	type rankImage struct {
-		level  int
-		blocks [][]byte
+	levels := make([]int, len(s.ranks))
+	staging := make([]blockstore.Store, 0, len(s.ranks))
+	closeStaging := func() {
+		for _, st := range staging {
+			st.Close()
+		}
 	}
-	images := make([]rankImage, len(s.ranks))
+	scratch := make([]float64, 2*s.blockAmps())
 	for ri := range s.ranks {
 		var level uint8
 		if err := binary.Read(tr, binary.LittleEndian, &level); err != nil {
+			closeStaging()
 			return fmt.Errorf("core: checkpoint rank %d: %w", ri, err)
 		}
 		if int(level) > len(s.cfg.ErrorLevels) {
+			closeStaging()
 			return fmt.Errorf("core: checkpoint level %d out of range", level)
 		}
 		var nb uint32
 		if err := binary.Read(tr, binary.LittleEndian, &nb); err != nil {
+			closeStaging()
 			return fmt.Errorf("core: checkpoint rank %d: %w", ri, err)
 		}
 		if int(nb) != s.blocksPerRank() {
+			closeStaging()
 			return fmt.Errorf("core: checkpoint rank %d has %d blocks, want %d", ri, nb, s.blocksPerRank())
 		}
-		images[ri].level = int(level)
-		images[ri].blocks = make([][]byte, nb)
-		for b := range images[ri].blocks {
+		levels[ri] = int(level)
+		st, err := s.newStore(ri)
+		if err != nil {
+			closeStaging()
+			return err
+		}
+		staging = append(staging, st)
+		for b := 0; b < int(nb); b++ {
 			var bl uint32
 			if err := binary.Read(tr, binary.LittleEndian, &bl); err != nil {
+				closeStaging()
 				return fmt.Errorf("core: checkpoint block length: %w", err)
 			}
 			if bl > 1<<30 {
+				closeStaging()
 				return fmt.Errorf("core: checkpoint block of %d bytes implausible", bl)
 			}
 			blob := make([]byte, bl)
 			if _, err := io.ReadFull(tr, blob); err != nil {
+				closeStaging()
 				return fmt.Errorf("core: checkpoint block: %w", err)
 			}
-			images[ri].blocks[b] = blob
+			// Validate on the way in — the blob may spill immediately,
+			// and a corrupt checkpoint must be rejected before commit.
+			if err := s.decodeBlob(blob, scratch); err != nil {
+				closeStaging()
+				return fmt.Errorf("core: checkpoint rank %d undecodable: %w", ri, err)
+			}
+			if err := st.Put(b, blob); err != nil {
+				closeStaging()
+				return err
+			}
 		}
 	}
 	want := h.Sum64()
 	var got uint64
 	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		closeStaging()
 		return fmt.Errorf("core: checkpoint checksum: %w", err)
 	}
 	if got != want {
+		closeStaging()
 		return fmt.Errorf("core: checkpoint checksum mismatch (file %#x, computed %#x)", got, want)
 	}
-	// Validate every block decodes before committing anything.
-	scratch := make([]float64, 2*s.blockAmps())
-	for ri := range images {
-		for _, blob := range images[ri].blocks {
-			if err := s.decodeBlob(blob, scratch); err != nil {
-				return fmt.Errorf("core: checkpoint rank %d undecodable: %w", ri, err)
-			}
-		}
-	}
-	// Commit.
+	// Commit: swap each rank onto its staged store.
 	s.version++
 	s.ledger = ledger
 	s.gatesRun = gatesRun
 	s.measurements = meas
 	for ri, rs := range s.ranks {
-		rs.level = images[ri].level
+		rs.level = levels[ri]
 		// The restored state replaces whatever ran before, so per-rank
 		// accounting latched from the pre-restore timeline must not
 		// survive: a stuck overBudget latch would make the next run
@@ -168,20 +206,25 @@ func (s *Simulator) Load(r io.Reader) error {
 		// fits, and FinalLevel must describe the restored ladder position
 		// (levels only escalate, so the level at save time is the highest
 		// the checkpointed timeline ever used).
-		rs.stats.FinalLevel = images[ri].level
-		var footprint int64
-		for b := range rs.blocks {
-			rs.blocks[b] = images[ri].blocks[b]
-			footprint += int64(len(rs.blocks[b]))
-		}
+		rs.stats.FinalLevel = levels[ri]
+		// Fold the outgoing store's spill tally into the baseline so
+		// the rank's cumulative counters survive the swap, then close
+		// it (removing its spill file).
+		rs.storeAcc = rs.storeAcc.Plus(rs.store.Stats().Minus(rs.storeBase))
+		rs.storeBase = blockstore.Stats{}
+		rs.store.Close()
+		rs.store = staging[ri]
 		// Re-derive the latch from the restored state itself: clear it
 		// for a healthy checkpoint, but a state saved over budget at
 		// the loosest bound is still over budget after the restore.
+		// The budget presses on the resident bytes, so a restore into
+		// a spill-enabled simulator can clear a latch the saving
+		// (unspilled) simulator tripped.
 		rs.overBudget = s.cfg.MemoryBudget > 0 && !s.cfg.Uncompressed &&
-			rs.level == len(s.cfg.ErrorLevels) && footprint > s.cfg.MemoryBudget
-		rs.stats.CurrentFootprint = footprint
-		if footprint > rs.stats.MaxFootprint {
-			rs.stats.MaxFootprint = footprint
+			rs.level == len(s.cfg.ErrorLevels) && rs.store.Resident() > s.cfg.MemoryBudget
+		s.syncStoreStats(rs)
+		if rs.stats.CurrentFootprint > rs.stats.MaxFootprint {
+			rs.stats.MaxFootprint = rs.stats.CurrentFootprint
 		}
 	}
 	return nil

@@ -18,6 +18,7 @@ import (
 	"compress/flate"
 	"fmt"
 	"math/bits"
+	"os"
 	"runtime"
 
 	"qcsim/internal/compress"
@@ -76,6 +77,20 @@ type Config struct {
 	// decompress/recompress sweeps (and the Eq. 11 ledger charges)
 	// proportionally.
 	FuseGates bool
+	// SpillDir enables the tiered RAM→disk block store: cold compressed
+	// blocks evict to a per-rank spill file in this directory once the
+	// resident bytes exceed SpillRAMBudget, and the sweep scheduler's
+	// and sampler's block orders drive async prefetch. Setting either
+	// spill field enables the tier: an empty SpillDir with
+	// SpillRAMBudget > 0 falls back to os.TempDir().
+	SpillDir string
+	// SpillRAMBudget caps the compressed bytes a rank keeps RESIDENT in
+	// RAM when spilling is enabled; the rest of the footprint lives in
+	// the spill file. 0 with SpillDir set defaults to MemoryBudget, so
+	// spilling becomes the escalation ladder's first rung: the state
+	// trades disk for fidelity instead of relaxing the error bound.
+	// Negative is invalid.
+	SpillRAMBudget int64
 	// DisableSweeps turns off the sweep scheduler, which by default
 	// batches maximal runs of consecutive block-local gates (target and
 	// controls all in the offset segment) into one decompress →
@@ -154,8 +169,24 @@ func (c Config) withDefaults() (Config, error) {
 	if c.CacheLines < 0 {
 		return c, fmt.Errorf("core: negative cache lines")
 	}
+	if c.SpillRAMBudget < 0 {
+		return c, fmt.Errorf("core: negative spill RAM budget")
+	}
+	if c.SpillDir != "" && c.SpillRAMBudget == 0 {
+		c.SpillRAMBudget = c.MemoryBudget
+		if c.SpillRAMBudget == 0 {
+			return c, fmt.Errorf("core: spill dir set but no RAM budget to spill against (set SpillRAMBudget or MemoryBudget)")
+		}
+	}
+	if c.SpillRAMBudget > 0 && c.SpillDir == "" {
+		c.SpillDir = os.TempDir()
+	}
 	return c, nil
 }
+
+// spillEnabled reports whether the tiered RAM→disk store is active
+// (withDefaults normalizes the two spill fields together).
+func (c Config) spillEnabled() bool { return c.SpillRAMBudget > 0 }
 
 // MemoryRequirement returns the uncompressed state size in bytes for n
 // qubits: 2^(n+4) (double-precision complex amplitudes), the arithmetic

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qcsim/internal/blockstore"
 	"qcsim/internal/compress"
 	"qcsim/internal/mpi"
 	"qcsim/internal/quantum"
@@ -63,20 +64,27 @@ type Simulator struct {
 	noise *NoiseModel
 }
 
-// rankState is one rank's share: nb compressed blocks plus a pool of
-// worker scratch pairs (the MCDRAM working set of Eq. 8, one copy per
-// worker). mu guards the cross-worker shared state: the footprint
-// accounting inside updateBlock. Block slots themselves need no lock —
-// during one gate each block index is owned by exactly one worker.
+// rankState is one rank's share: a block store holding nb compressed
+// blocks plus a pool of worker scratch pairs (the MCDRAM working set
+// of Eq. 8, one copy per worker). The store is internally
+// synchronized and owns the footprint accounting; block slots need no
+// further coordination — during one gate each block index is owned by
+// exactly one worker.
 type rankState struct {
 	id      int
-	blocks  [][]byte
+	store   blockstore.Store
 	workers []*workerState
 	level   int
 	cache   *blockCache
 	stats   Stats
 	rng     *rand.Rand // per-rank noise stream (deterministic)
-	mu      sync.Mutex
+	// storeBase/storeAcc baseline the store's cumulative spill
+	// counters against the rank Stats lifecycle: Reset zeroes
+	// rs.stats but keeps the store, so counters report
+	// acc + (store now − base); a checkpoint Load swaps the store,
+	// folding the old one's tally into acc first.
+	storeBase blockstore.Stats
+	storeAcc  blockstore.Stats
 	// overBudget latches when a gate boundary finds the footprint above
 	// the memory budget with no escalation level left — a whole gate
 	// ran at the loosest bound and the state still did not fit.
@@ -127,13 +135,11 @@ func New(cfg Config) (*Simulator, error) {
 		s.offsetBits = perRank
 	}
 	s.blockBits = perRank - s.offsetBits
-	nb := 1 << uint(s.blockBits)
 
 	s.ranks = make([]*rankState, cfg.Ranks)
 	for r := range s.ranks {
 		rs := &rankState{
 			id:      r,
-			blocks:  make([][]byte, nb),
 			workers: make([]*workerState, cfg.Workers),
 			cache:   newBlockCache(cfg.CacheLines),
 			// The noise stream must be IDENTICAL on every rank: each
@@ -142,6 +148,12 @@ func New(cfg Config) (*Simulator, error) {
 			// cross-rank noise gate deadlocks half the pairs.
 			rng: rand.New(rand.NewSource(cfg.Seed ^ 0x9E3779B9)),
 		}
+		store, err := s.newStore(r)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		rs.store = store
 		for w := range rs.workers {
 			rs.workers[w] = &workerState{}
 		}
@@ -151,9 +163,38 @@ func New(cfg Config) (*Simulator, error) {
 		s.ranks[r] = rs
 	}
 	if err := s.Reset(); err != nil {
+		s.Close()
 		return nil, err
 	}
 	return s, nil
+}
+
+// newStore builds one rank's block table: the plain in-RAM table by
+// default, the tiered RAM→disk store when the configuration enables
+// spilling. Checkpoint Load uses it too, for its staging stores.
+func (s *Simulator) newStore(rank int) (blockstore.Store, error) {
+	nb := s.blocksPerRank()
+	if !s.cfg.spillEnabled() {
+		return blockstore.NewRAM(nb), nil
+	}
+	return blockstore.NewTiered(nb, s.cfg.SpillDir, fmt.Sprintf("rank%d", rank), s.cfg.SpillRAMBudget)
+}
+
+// Close releases the per-rank block stores — for a spill-enabled
+// simulator, the spill files on disk. Idempotent; a no-op for the
+// default in-RAM configuration. The simulator must not be used after
+// Close.
+func (s *Simulator) Close() error {
+	var firstErr error
+	for _, rs := range s.ranks {
+		if rs == nil || rs.store == nil {
+			continue
+		}
+		if err := rs.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // blockAmps returns the amplitudes per block.
@@ -176,6 +217,10 @@ func (s *Simulator) Reset() error {
 		rs.level = 0
 		rs.overBudget = false
 		rs.stats = Stats{}
+		// The store survives a Reset; re-baseline its cumulative spill
+		// counters so the zeroed rank Stats start counting from here.
+		rs.storeAcc = blockstore.Stats{}
+		rs.storeBase = rs.store.Stats()
 		for _, w := range rs.workers {
 			w.stats = Stats{}
 		}
@@ -191,8 +236,7 @@ func (s *Simulator) Reset() error {
 		if err != nil {
 			return err
 		}
-		var footprint int64
-		for b := range rs.blocks {
+		for b := 0; b < s.blocksPerRank(); b++ {
 			var blob []byte
 			if rs.id == 0 && b == 0 {
 				scratch[0] = 1 // amplitude of |0...0⟩
@@ -204,11 +248,13 @@ func (s *Simulator) Reset() error {
 			} else {
 				blob = append([]byte(nil), zeroBlob...)
 			}
-			rs.blocks[b] = blob
-			footprint += int64(len(blob))
+			if err := rs.store.Put(b, blob); err != nil {
+				return err
+			}
 		}
-		rs.stats.CurrentFootprint = footprint
-		rs.stats.MaxFootprint = footprint
+		s.syncStoreStats(rs)
+		rs.stats.MaxFootprint = rs.stats.CurrentFootprint
+		rs.stats.MaxResident = rs.stats.ResidentFootprint
 	}
 	s.ledger = 1
 	s.gatesRun = 0
@@ -235,13 +281,17 @@ func (s *Simulator) SetBasisState(idx uint64) error {
 	if err != nil {
 		return err
 	}
-	s.updateBlock(s.ranks[0], 0, blob0)
+	if err := s.updateBlock(s.ranks[0], 0, blob0); err != nil {
+		return err
+	}
 	zero[2*o] = 1
 	blob, err := s.compressBlock(rs.level, zero, &rs.stats)
 	if err != nil {
 		return err
 	}
-	s.updateBlock(rs, b, blob)
+	if err := s.updateBlock(rs, b, blob); err != nil {
+		return err
+	}
 	s.maybeEscalate(s.ranks[0])
 	if rs != s.ranks[0] {
 		s.maybeEscalate(rs)
@@ -321,32 +371,90 @@ func (s *Simulator) decompressBlock(blob []byte, scratch []float64, st *Stats) e
 	}
 }
 
-// updateBlock swaps in a freshly compressed block, maintaining the
-// footprint accounting under the rank lock (workers racing on distinct
-// block indices still share the footprint counters). The high-water
-// mark is NOT sampled here: a mid-gate running peak would depend on
-// block completion order and make MaxFootprint irreproducible under a
-// worker pool — maybeEscalate samples it at the gate boundary instead.
-func (s *Simulator) updateBlock(rs *rankState, b int, blob []byte) {
-	rs.mu.Lock()
-	rs.stats.CurrentFootprint += int64(len(blob)) - int64(len(rs.blocks[b]))
-	rs.blocks[b] = blob
-	rs.mu.Unlock()
+// updateBlock swaps in a freshly compressed block through the rank's
+// store, which maintains the footprint accounting internally (workers
+// racing on distinct block indices share the store's counters). The
+// high-water mark is NOT sampled here: a mid-gate running peak would
+// depend on block completion order and make MaxFootprint
+// irreproducible under a worker pool — maybeEscalate samples the
+// store at the gate boundary instead. The error is the spill tier's
+// (always nil for the in-RAM store).
+func (s *Simulator) updateBlock(rs *rankState, b int, blob []byte) error {
+	return rs.store.Put(b, blob)
+}
+
+// syncStoreStats refreshes the rank Stats' footprint gauges and spill
+// counters from the block store (see rankState.storeBase for the
+// baselining). Called at gate boundaries and before Stats reads —
+// never mid-fan-out, so the numbers are worker-schedule independent.
+func (s *Simulator) syncStoreStats(rs *rankState) {
+	cur := rs.store.Stats()
+	d := rs.storeAcc.Plus(cur.Minus(rs.storeBase))
+	rs.stats.CurrentFootprint = rs.store.Footprint()
+	rs.stats.ResidentFootprint = rs.store.Resident()
+	if rs.stats.ResidentFootprint > rs.stats.MaxResident {
+		rs.stats.MaxResident = rs.stats.ResidentFootprint
+	}
+	rs.stats.SpilledBytes = cur.SpilledBytes
+	rs.stats.SpillWrites = d.SpillWrites
+	rs.stats.SpillReads = d.SpillReads
+	rs.stats.PrefetchReads = d.PrefetchReads
+	rs.stats.PrefetchHits = d.PrefetchHits
+}
+
+// hintBlocks announces an upcoming block visit order to a tiered
+// store so its prefetcher can stage spilled blobs ahead of the pass,
+// overlapping disk reads with codec work. Blocks failing the blkCtrl
+// mask are not visited and not hinted; pair > 0 interleaves each
+// block with its partner b|pair (the cross-block two-block working
+// set). The in-RAM store wants no hints and the order slice is never
+// built.
+func (s *Simulator) hintBlocks(rs *rankState, blkCtrl, pair int) {
+	if !rs.store.WantHints() {
+		return
+	}
+	nb := s.blocksPerRank()
+	order := make([]int, 0, nb)
+	for b := 0; b < nb; b++ {
+		if b&blkCtrl != blkCtrl {
+			continue
+		}
+		if pair > 0 {
+			if b&pair != 0 {
+				continue
+			}
+			order = append(order, b, b|pair)
+		} else {
+			order = append(order, b)
+		}
+	}
+	rs.store.PrefetchHint(order)
 }
 
 // maybeEscalate is the gate-boundary footprint accounting: it samples
-// the MaxFootprint high-water mark and applies the §3.7 escalation rule
-// (footprint over budget → relax the error bound one level for
-// subsequent gates). Deciding both once per gate — rather than inside
-// every block update — makes escalation timing, every compressed bit,
-// and the Table 2 peak-footprint row independent of the worker
-// interleaving: the footprint sum after a gate does not depend on
-// block completion order.
+// the MaxFootprint high-water mark and applies the §3.7 escalation
+// ladder. Deciding once per gate — rather than inside every block
+// update — makes escalation timing, every compressed bit, and the
+// Table 2 peak-footprint row independent of the worker interleaving:
+// the footprint sum after a gate does not depend on block completion
+// order.
+//
+// With the tiered store the ladder gains its spill rung: the memory
+// budget presses on the bytes RESIDENT in RAM, and the store has
+// already been evicting cold blobs to disk throughout the gate — so a
+// state whose compressed size exceeds the budget but fits on disk
+// never escalates at all. Only when the resident set itself cannot be
+// held under the budget (spill disabled, a spill RAM budget set above
+// the memory budget, or a single blob larger than it) does the old
+// ladder take over: relax the error bound one level per gate
+// boundary, then latch overBudget when the loosest bound still does
+// not fit.
 func (s *Simulator) maybeEscalate(rs *rankState) {
+	s.syncStoreStats(rs)
 	if rs.stats.CurrentFootprint > rs.stats.MaxFootprint {
 		rs.stats.MaxFootprint = rs.stats.CurrentFootprint
 	}
-	if s.cfg.MemoryBudget > 0 && rs.stats.CurrentFootprint > s.cfg.MemoryBudget && !s.cfg.Uncompressed {
+	if s.cfg.MemoryBudget > 0 && rs.stats.ResidentFootprint > s.cfg.MemoryBudget && !s.cfg.Uncompressed {
 		if rs.level < len(s.cfg.ErrorLevels) {
 			rs.level++
 			rs.stats.Escalations++
@@ -661,22 +769,26 @@ func (s *Simulator) applyGateRank(comm *mpi.Comm, rs *rankState, g quantum.Gate,
 // actually run through the codec — the sweep path's k-1 elided round
 // trips, 0 for single-gate passes.
 func (s *Simulator) runBlockPass(rs *rankState, sig string, lvl, blkCtrl int, passesSaved int64, apply func(x []float64)) error {
+	s.hintBlocks(rs, blkCtrl, 0)
 	return s.forBlocks(rs, func(w *workerState, b int) error {
 		if b&blkCtrl != blkCtrl {
 			return nil
 		}
+		cur, err := rs.store.Get(b)
+		if err != nil {
+			return err
+		}
 		key := ""
 		if rs.cache.enabled() {
-			key = cacheKey(sig, lvl, rs.blocks[b], nil)
+			key = cacheKey(sig, lvl, cur, nil)
 			if out1, _, ok := rs.cache.get(key); ok {
 				w.stats.CacheHits++
 				w.stats.CacheLookups++
-				s.updateBlock(rs, b, append([]byte(nil), out1...))
-				return nil
+				return s.updateBlock(rs, b, append([]byte(nil), out1...))
 			}
 			w.stats.CacheLookups++
 		}
-		if err := s.decompressBlock(rs.blocks[b], w.x, &w.stats); err != nil {
+		if err := s.decompressBlock(cur, w.x, &w.stats); err != nil {
 			return err
 		}
 		start := time.Now()
@@ -686,7 +798,9 @@ func (s *Simulator) runBlockPass(rs *rankState, sig string, lvl, blkCtrl int, pa
 		if err != nil {
 			return err
 		}
-		s.updateBlock(rs, b, blob)
+		if err := s.updateBlock(rs, b, blob); err != nil {
+			return err
+		}
 		if key != "" {
 			rs.cache.put(key, blob, nil)
 		}
@@ -729,27 +843,37 @@ func (s *Simulator) applyCrossBlock(rs *rankState, g quantum.Gate, gi int, offCt
 	lvl := rs.level
 	sig := g.Signature()
 	ba := s.blockAmps()
+	s.hintBlocks(rs, blkCtrl, tb)
 	err := s.forBlocks(rs, func(w *workerState, b int) error {
 		if b&tb != 0 || b&blkCtrl != blkCtrl {
 			return nil
 		}
 		pb := b | tb
+		curB, err := rs.store.Get(b)
+		if err != nil {
+			return err
+		}
+		curP, err := rs.store.Get(pb)
+		if err != nil {
+			return err
+		}
 		key := ""
 		if rs.cache.enabled() {
-			key = cacheKey(sig, lvl, rs.blocks[b], rs.blocks[pb])
+			key = cacheKey(sig, lvl, curB, curP)
 			if out1, out2, ok := rs.cache.get(key); ok {
 				w.stats.CacheHits++
 				w.stats.CacheLookups++
-				s.updateBlock(rs, b, append([]byte(nil), out1...))
-				s.updateBlock(rs, pb, append([]byte(nil), out2...))
-				return nil
+				if err := s.updateBlock(rs, b, append([]byte(nil), out1...)); err != nil {
+					return err
+				}
+				return s.updateBlock(rs, pb, append([]byte(nil), out2...))
 			}
 			w.stats.CacheLookups++
 		}
-		if err := s.decompressBlock(rs.blocks[b], w.x, &w.stats); err != nil {
+		if err := s.decompressBlock(curB, w.x, &w.stats); err != nil {
 			return err
 		}
-		if err := s.decompressBlock(rs.blocks[pb], w.y, &w.stats); err != nil {
+		if err := s.decompressBlock(curP, w.y, &w.stats); err != nil {
 			return err
 		}
 		start := time.Now()
@@ -765,12 +889,16 @@ func (s *Simulator) applyCrossBlock(rs *rankState, g quantum.Gate, gi int, offCt
 		if err != nil {
 			return err
 		}
-		s.updateBlock(rs, b, blobX)
+		if err := s.updateBlock(rs, b, blobX); err != nil {
+			return err
+		}
 		blobY, err := s.compressBlock(lvl, w.y, &w.stats)
 		if err != nil {
 			return err
 		}
-		s.updateBlock(rs, pb, blobY)
+		if err := s.updateBlock(rs, pb, blobY); err != nil {
+			return err
+		}
 		if key != "" {
 			rs.cache.put(key, blobX, blobY)
 		}
@@ -801,13 +929,18 @@ func (s *Simulator) applyCrossRank(comm *mpi.Comm, rs *rankState, g quantum.Gate
 	lvl := rs.level
 	nb := s.blocksPerRank()
 	w := rs.w0()
+	s.hintBlocks(rs, blkCtrl, 0)
 	var firstErr error
 	for b := 0; b < nb; b++ {
 		if b&blkCtrl != blkCtrl {
 			continue
 		}
 		if firstErr == nil {
-			if err := s.decompressBlock(rs.blocks[b], w.x, &rs.stats); err != nil {
+			blob, err := rs.store.Get(b)
+			if err == nil {
+				err = s.decompressBlock(blob, w.x, &rs.stats)
+			}
+			if err != nil {
 				firstErr = err
 			}
 		}
@@ -842,7 +975,9 @@ func (s *Simulator) applyCrossRank(comm *mpi.Comm, rs *rankState, g quantum.Gate
 			firstErr = err
 			continue
 		}
-		s.updateBlock(rs, b, blob)
+		if err := s.updateBlock(rs, b, blob); err != nil {
+			firstErr = err
+		}
 	}
 	if firstErr != nil {
 		return firstErr

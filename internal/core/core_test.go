@@ -33,6 +33,7 @@ func newSim(t *testing.T, qubits, ranks, blockAmps int, extra func(*Config)) *Si
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { s.Close() })
 	return s
 }
 

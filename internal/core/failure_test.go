@@ -19,13 +19,21 @@ func TestCorruptedBlockFailsRun(t *testing.T) {
 	if err := s.Run(quantum.GHZ(6)); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt a stored block behind the engine's back.
-	blob := s.ranks[1].blocks[0]
-	for i := range blob {
-		blob[i] ^= 0xA5
+	// Corrupt a stored block through the same store seam production
+	// code uses (store-returned slices are read-only views, so the
+	// corruption goes in as a fresh blob).
+	blob, err := s.ranks[1].store.Get(0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	err := s.Run(quantum.NewCircuit(6).H(0))
-	if err == nil {
+	bad := append([]byte(nil), blob...)
+	for i := range bad {
+		bad[i] ^= 0xA5
+	}
+	if err := s.ranks[1].store.Put(0, bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(quantum.NewCircuit(6).H(0)); err == nil {
 		t.Fatal("run succeeded over a corrupted block")
 	}
 }
@@ -35,7 +43,9 @@ func TestCorruptedBlockFailsInspection(t *testing.T) {
 	if err := s.Run(quantum.GHZ(6)); err != nil {
 		t.Fatal(err)
 	}
-	s.ranks[0].blocks[2] = []byte{0xFF, 0x00}
+	if err := s.ranks[0].store.Put(2, []byte{0xFF, 0x00}); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.FullState(); err == nil {
 		t.Fatal("FullState succeeded over garbage block")
 	}
@@ -86,7 +96,9 @@ func TestCheckpointCodecMismatch(t *testing.T) {
 
 func TestEmptyBlockRejected(t *testing.T) {
 	s := newSim(t, 4, 1, 4, nil)
-	s.ranks[0].blocks[0] = nil
+	if err := s.ranks[0].store.Put(0, nil); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.FullState(); err == nil {
 		t.Fatal("nil block accepted")
 	}

@@ -43,7 +43,13 @@ func (s *Simulator) Amplitude(idx uint64) (complex128, error) {
 	}
 	r, b, o := s.locate(idx)
 	scratch := make([]float64, 2*s.blockAmps())
-	if err := s.decodeBlob(s.ranks[r].blocks[b], scratch); err != nil {
+	// Peek, not Get: inspection must not disturb the resident set a
+	// tiered store keeps for the hot path.
+	blob, err := s.ranks[r].store.Peek(b)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.decodeBlob(blob, scratch); err != nil {
 		return 0, err
 	}
 	return complex(scratch[2*o], scratch[2*o+1]), nil
@@ -57,8 +63,12 @@ func (s *Simulator) FullState() ([]complex128, error) {
 	out := make([]complex128, 1<<uint(s.cfg.Qubits))
 	scratch := make([]float64, 2*s.blockAmps())
 	for r, rs := range s.ranks {
-		for b := range rs.blocks {
-			if err := s.decodeBlob(rs.blocks[b], scratch); err != nil {
+		for b := 0; b < s.blocksPerRank(); b++ {
+			blob, err := rs.store.Peek(b)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.decodeBlob(blob, scratch); err != nil {
 				return nil, err
 			}
 			base := s.compose(r, b, 0)
@@ -75,8 +85,12 @@ func (s *Simulator) Norm() (float64, error) {
 	var n float64
 	scratch := make([]float64, 2*s.blockAmps())
 	for _, rs := range s.ranks {
-		for b := range rs.blocks {
-			if err := s.decodeBlob(rs.blocks[b], scratch); err != nil {
+		for b := 0; b < s.blocksPerRank(); b++ {
+			blob, err := rs.store.Peek(b)
+			if err != nil {
+				return 0, err
+			}
+			if err := s.decodeBlob(blob, scratch); err != nil {
 				return 0, err
 			}
 			for _, v := range scratch {
@@ -95,12 +109,16 @@ func (s *Simulator) ProbabilityOne(q int) (float64, error) {
 	var p float64
 	scratch := make([]float64, 2*s.blockAmps())
 	for r, rs := range s.ranks {
-		for b := range rs.blocks {
+		for b := 0; b < s.blocksPerRank(); b++ {
 			base := s.compose(r, b, 0)
 			if base&(1<<uint(q)) == 0 && q >= s.offsetBits {
 				continue // whole block has q=0
 			}
-			if err := s.decodeBlob(rs.blocks[b], scratch); err != nil {
+			blob, err := rs.store.Peek(b)
+			if err != nil {
+				return 0, err
+			}
+			if err := s.decodeBlob(blob, scratch); err != nil {
 				return 0, err
 			}
 			for o := 0; o < s.blockAmps(); o++ {
@@ -137,24 +155,29 @@ func (s *Simulator) Sample(rng *rand.Rand, shots int) ([]uint64, error) {
 	return sp.Sample(rng, shots)
 }
 
-// Stats returns the aggregate across ranks.
+// Stats returns the aggregate across ranks, first refreshing each
+// rank's footprint gauges and spill counters from its block store.
 func (s *Simulator) Stats() Stats {
 	var agg Stats
 	for _, rs := range s.ranks {
+		s.syncStoreStats(rs)
 		agg = agg.Add(rs.stats)
 	}
 	return agg
 }
 
 // RankStats returns one rank's accounting.
-func (s *Simulator) RankStats(r int) Stats { return s.ranks[r].stats }
+func (s *Simulator) RankStats(r int) Stats {
+	s.syncStoreStats(s.ranks[r])
+	return s.ranks[r].stats
+}
 
-// CompressedFootprint returns the current total compressed bytes across
-// ranks.
+// CompressedFootprint returns the current total compressed bytes
+// across ranks and both memory tiers.
 func (s *Simulator) CompressedFootprint() int64 {
 	var t int64
 	for _, rs := range s.ranks {
-		t += rs.stats.CurrentFootprint
+		t += rs.store.Footprint()
 	}
 	return t
 }

@@ -44,11 +44,18 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) (int, 
 	partials := make([]float64, s.blocksPerRank())
 	var phase1Err error
 	if rankMask == 0 || rs.id&rankMask != 0 {
+		// blkMask is a single bit, so "any set" equals the all-set
+		// filter hintBlocks applies.
+		s.hintBlocks(rs, blkMask, 0)
 		phase1Err = s.forBlocks(rs, func(w *workerState, b int) error {
 			if blkMask != 0 && b&blkMask == 0 {
 				return nil // whole block has q=0
 			}
-			if err := s.decompressBlock(rs.blocks[b], w.x, &w.stats); err != nil {
+			blob, err := rs.store.Get(b)
+			if err != nil {
+				return err
+			}
+			if err := s.decompressBlock(blob, w.x, &w.stats); err != nil {
 				return err
 			}
 			start := time.Now()
@@ -112,6 +119,7 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) (int, 
 	scale := 1 / math.Sqrt(keep)
 
 	// Phase 3: collapse and renormalize every block.
+	s.hintBlocks(rs, 0, 0)
 	err := s.forBlocks(rs, func(w *workerState, b int) error {
 		matchBlock := true
 		if blkMask != 0 {
@@ -129,7 +137,11 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) (int, 
 			}
 			matchRank = bit == outcome
 		}
-		if err := s.decompressBlock(rs.blocks[b], w.x, &w.stats); err != nil {
+		blob, err := rs.store.Get(b)
+		if err != nil {
+			return err
+		}
+		if err := s.decompressBlock(blob, w.x, &w.stats); err != nil {
 			return err
 		}
 		start := time.Now()
@@ -151,12 +163,11 @@ func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) (int, 
 			}
 		}
 		w.stats.ComputeTime += time.Since(start)
-		blob, err := s.compressBlock(lvl, w.x, &w.stats)
+		out, err := s.compressBlock(lvl, w.x, &w.stats)
 		if err != nil {
 			return err
 		}
-		s.updateBlock(rs, b, blob)
-		return nil
+		return s.updateBlock(rs, b, out)
 	})
 	if err != nil {
 		return 0, fmt.Errorf("core: collapse after measuring qubit %d: %w", q, err)

@@ -81,8 +81,15 @@ func (s *Simulator) NewSampler(cacheBlocks int) (*Sampler, error) {
 	memoMaxBlob := 16 * ba / 4
 	for _, rs := range s.ranks {
 		base := rs.id * nb
+		// The CDF pass walks every block in ascending order — announce
+		// it so a tiered store can stage spilled blobs ahead of the
+		// workers.
+		s.hintBlocks(rs, 0, 0)
 		err := s.forBlocks(rs, func(w *workerState, b int) error {
-			blob := rs.blocks[b]
+			blob, err := rs.store.Get(b)
+			if err != nil {
+				return err
+			}
 			if len(blob) <= memoMaxBlob {
 				memo.Lock()
 				m, ok := memo.m[string(blob)]
@@ -172,13 +179,13 @@ func (sp *Sampler) Sample(rng *rand.Rand, shots int) ([]uint64, error) {
 		order[i] = i
 	}
 	sort.Slice(order, func(i, j int) bool { return us[order[i]] < us[order[j]] })
-	out := make([]uint64, shots)
-	// Sorted resolution makes consecutive shots hit the same block most
-	// of the time; the one-entry memo skips the LRU key construction
-	// (and its blob copy) for those.
-	lastGB := -1
-	var amps []float64
-	for _, k := range order {
+	// Locate every sorted draw's containing block up front: the
+	// resulting ascending visit sequence doubles as the prefetch
+	// oracle for a tiered store (disk reads overlap the decode work of
+	// earlier blocks), and the shot loop reuses it instead of
+	// re-searching.
+	gbs := make([]int, shots)
+	for i, k := range order {
 		u := us[k]
 		gb := sort.Search(len(sp.cum), func(i int) bool { return u < sp.cum[i] })
 		if gb == len(sp.cum) {
@@ -187,6 +194,18 @@ func (sp *Sampler) Sample(rng *rand.Rand, shots int) ([]uint64, error) {
 			for gb = len(sp.cum) - 1; gb > 0 && blockMass(sp.cum, gb) == 0; gb-- {
 			}
 		}
+		gbs[i] = gb
+	}
+	sp.hintDrawOrder(gbs)
+	out := make([]uint64, shots)
+	// Sorted resolution makes consecutive shots hit the same block most
+	// of the time; the one-entry memo skips the LRU key construction
+	// (and its blob copy) for those.
+	lastGB := -1
+	var amps []float64
+	for i, k := range order {
+		u := us[k]
+		gb := gbs[i]
 		if gb != lastGB {
 			var err error
 			if amps, err = sp.block(gb); err != nil {
@@ -226,6 +245,37 @@ func (sp *Sampler) Sample(rng *rand.Rand, shots int) ([]uint64, error) {
 	return out, nil
 }
 
+// hintDrawOrder announces each rank's block visit sequence for one
+// Sample call to tiered stores, deduplicating consecutive repeats
+// (draws are resolved in sorted order, so equal blocks are adjacent
+// and each rank's sequence is ascending).
+func (sp *Sampler) hintDrawOrder(gbs []int) {
+	anyWant := false
+	for _, rs := range sp.s.ranks {
+		if rs.store.WantHints() {
+			anyWant = true
+			break
+		}
+	}
+	if !anyWant {
+		return
+	}
+	nb := sp.s.blocksPerRank()
+	orders := make([][]int, len(sp.s.ranks))
+	for _, gb := range gbs {
+		r, b := gb/nb, gb%nb
+		if n := len(orders[r]); n > 0 && orders[r][n-1] == b {
+			continue
+		}
+		orders[r] = append(orders[r], b)
+	}
+	for r, rs := range sp.s.ranks {
+		if rs.store.WantHints() && len(orders[r]) > 0 {
+			rs.store.PrefetchHint(orders[r])
+		}
+	}
+}
+
 func blockMass(cum []float64, g int) float64 {
 	if g == 0 {
 		return cum[0]
@@ -240,7 +290,10 @@ func blockMass(cum []float64, g int) float64 {
 func (sp *Sampler) block(gb int) ([]float64, error) {
 	nb := sp.s.blocksPerRank()
 	rs := sp.s.ranks[gb/nb]
-	blob := rs.blocks[gb%nb]
+	blob, err := rs.store.Get(gb % nb)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampler: rank %d block %d: %w", rs.id, gb%nb, err)
+	}
 	key := decodedKey(gb, blob, sp.memoMax)
 	if amps, ok := sp.cache.get(key); ok {
 		return amps, nil

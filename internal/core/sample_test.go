@@ -48,6 +48,12 @@ func TestSamplerMatchesLinearScan(t *testing.T) {
 	}{
 		{"lossless", nil},
 		{"uncompressed", func(c *Config) { c.Uncompressed = true }},
+		// A tight spill RAM budget forces the sampler's sorted-draw
+		// prefetch path: same outcomes through the tiered store.
+		{"spill", func(c *Config) {
+			c.SpillDir = t.TempDir()
+			c.SpillRAMBudget = 512
+		}},
 	}
 	// A Hadamard layer plus a random tail: spreads mass across every
 	// block while mixing single-qubit, cross-block, and cross-rank gates.
@@ -240,7 +246,9 @@ func TestSamplerRejectsBadInput(t *testing.T) {
 		t.Fatalf("zero shots: %v, %v", out, err)
 	}
 	// Corrupt a block: the CDF build must surface the codec error.
-	s.ranks[0].blocks[1] = []byte{0xFF, 0x01}
+	if err := s.ranks[0].store.Put(1, []byte{0xFF, 0x01}); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.NewSampler(1); err == nil {
 		t.Fatal("sampler built over a corrupt block")
 	}

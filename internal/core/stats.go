@@ -35,10 +35,31 @@ type Stats struct {
 	CodecPassesSaved int64
 
 	// Footprint accounting. CurrentFootprint is Σ len(compressed
-	// block); MaxFootprint is its high-water mark, from which the
-	// minimum compression ratio of Table 2 derives.
+	// block) across both memory tiers; MaxFootprint is its high-water
+	// mark, from which the minimum compression ratio of Table 2
+	// derives. Both are maintained inside the block store and sampled
+	// at gate boundaries.
 	CurrentFootprint int64
 	MaxFootprint     int64
+
+	// Tiered block-store behaviour (all zero unless spilling is
+	// enabled; the in-RAM store keeps every block resident, so
+	// ResidentFootprint == CurrentFootprint there). ResidentFootprint
+	// is the compressed bytes currently held in RAM and MaxResident its
+	// gate-boundary high-water mark — the RSS proxy of the out-of-core
+	// experiments. SpilledBytes is the gauge of bytes on disk right
+	// now; SpillWrites/SpillReads count blocks written to and
+	// synchronously read back from the spill file; PrefetchReads counts
+	// blocks the async prefetcher staged ahead of demand and
+	// PrefetchHits how many Gets a staged block saved from a disk
+	// stall.
+	ResidentFootprint int64
+	MaxResident       int64
+	SpilledBytes      int64
+	SpillWrites       int64
+	SpillReads        int64
+	PrefetchReads     int64
+	PrefetchHits      int64
 
 	// FinalLevel is the error-bound level reached (0 = still
 	// lossless).
@@ -77,6 +98,13 @@ func (s Stats) Add(o Stats) Stats {
 	s.CodecPassesSaved += o.CodecPassesSaved
 	s.CurrentFootprint += o.CurrentFootprint
 	s.MaxFootprint += o.MaxFootprint
+	s.ResidentFootprint += o.ResidentFootprint
+	s.MaxResident += o.MaxResident
+	s.SpilledBytes += o.SpilledBytes
+	s.SpillWrites += o.SpillWrites
+	s.SpillReads += o.SpillReads
+	s.PrefetchReads += o.PrefetchReads
+	s.PrefetchHits += o.PrefetchHits
 	if o.FinalLevel > s.FinalLevel {
 		s.FinalLevel = o.FinalLevel
 	}

@@ -85,6 +85,36 @@ func WriteScalingCSV(w io.Writer, xName, relName string, xs []int, elapsed []flo
 	return cw.Error()
 }
 
+// WriteSpillCSV writes SpillResults: the resident high-water is the
+// RSS proxy, spilled_bytes the on-disk overflow, hit_rate the fraction
+// of disk reads the prefetcher absorbed.
+func WriteSpillCSV(w io.Writer, rows []SpillRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "qubits", "gates", "footprint_bytes",
+		"budget_bytes", "control_over_budget", "control_final_level", "control_seconds",
+		"max_resident_bytes", "spilled_bytes", "spill_writes", "spill_reads",
+		"prefetch_hits", "hit_rate", "spill_seconds", "spill_over_budget",
+		"spill_final_level"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Benchmark, strconv.Itoa(r.Qubits), strconv.Itoa(r.Gates),
+			strconv.FormatInt(r.Footprint, 10), strconv.FormatInt(r.Budget, 10),
+			strconv.FormatBool(r.ControlOverBudget), strconv.Itoa(r.ControlFinalLevel),
+			fmtF(r.ControlElapsed.Seconds()),
+			strconv.FormatInt(r.MaxResident, 10), strconv.FormatInt(r.SpilledBytes, 10),
+			strconv.FormatInt(r.SpillWrites, 10), strconv.FormatInt(r.SpillReads, 10),
+			strconv.FormatInt(r.PrefetchHits, 10), fmtF(r.HitRate),
+			fmtF(r.SpillElapsed.Seconds()), strconv.FormatBool(r.SpillOverBudget),
+			strconv.Itoa(r.SpillFinalLevel)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // ExportCSV runs the data-producing experiments and writes one CSV per
 // figure into dir.
 func ExportCSV(dir string, opt Options) error {
@@ -215,6 +245,13 @@ func ExportCSV(dir string, opt Options) error {
 		cw.Flush()
 		return cw.Error()
 	}); err != nil {
+		return err
+	}
+	spill, err := SpillResults(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("spill.csv", func(w io.Writer) error { return WriteSpillCSV(w, spill) }); err != nil {
 		return err
 	}
 	crossover, err := CrossoverResults(opt)

@@ -143,6 +143,7 @@ func Experiments() []Experiment {
 		{"fig16w", "Fig. 16b: intra-rank worker-pool scaling (paper: OpenMP threads per rank)", runFig16Workers},
 		{"sweep", "Sweep scheduler: codec passes per run of block-local gates (Grover, QAOA)", runSweep},
 		{"sampling", "Sampling: streaming compressed-domain sampler vs full-vector scan (GHZ, QAOA)", runSampling},
+		{"spill", "Spill tier: out-of-core completion under a resident-memory budget (QFT, random)", runSpill},
 		{"crossover", "Crossover: compressed full-state vs MPS backend over entanglement depth (§2.2)", runCrossover},
 		{"table2", "Table 2: full benchmark results with time breakdown", runTable2},
 	}

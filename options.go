@@ -177,6 +177,29 @@ func WithUncompressed(enabled bool) Option {
 	return func(s *settings) { s.cfg.Uncompressed = enabled }
 }
 
+// WithSpill enables the tiered block store: each rank keeps at most
+// ramBudget bytes of compressed blocks resident and spills the
+// coldest to a per-rank temp file under dir, prefetched back in block
+// order ahead of the sweep and sampler passes. States whose
+// compressed footprint exceeds RAM complete out of core instead of
+// escalating the §3.7 error ladder — the budget set by
+// WithMemoryBudget presses on the resident bytes, so a state that
+// fits on disk never degrades and never reports ErrBudgetExceeded.
+// Results stay bit-identical to an unspilled run.
+//
+// dir == "" uses os.TempDir(); ramBudget == 0 adopts WithMemoryBudget's
+// value (New reports ErrBadConfig if both are zero; a negative budget
+// is always ErrBadConfig). Spill I/O failures — an unwritable dir at
+// New, a failed write mid-run — wrap ErrSpill. Call Simulator.Close
+// to remove the spill files; they live under dir until then.
+// Compressed backend only; the mps backend ignores it.
+func WithSpill(dir string, ramBudget int64) Option {
+	return func(s *settings) {
+		s.cfg.SpillDir = dir
+		s.cfg.SpillRAMBudget = ramBudget
+	}
+}
+
 // resolve turns the accumulated settings into a core configuration,
 // resolving the codec name through the registry.
 func (s *settings) resolve(qubits int) (core.Config, float64, error) {

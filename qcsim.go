@@ -301,6 +301,18 @@ func (s *Simulator) Snapshot() Snapshot {
 // Qubits returns the register width n.
 func (s *Simulator) Qubits() int { return s.qubits }
 
+// Close releases engine resources: with WithSpill active it removes
+// the per-rank spill files (failures wrap ErrSpill); otherwise it is
+// a no-op. The simulator must not be used after Close. Safe to call
+// more than once, and safe on an auto simulator whose decision never
+// closed.
+func (s *Simulator) Close() error {
+	if s.be == nil {
+		return nil
+	}
+	return s.be.Close()
+}
+
 // Reset reinitializes the state to |0...0⟩ and the fidelity ledger to
 // 1, keeping the configuration.
 func (s *Simulator) Reset() error {
@@ -575,7 +587,7 @@ func (s *Simulator) Load(r io.Reader) error {
 		return err
 	}
 	if err := be.Load(r); err != nil {
-		if errors.Is(err, ErrUnsupportedOp) {
+		if errors.Is(err, ErrUnsupportedOp) || errors.Is(err, ErrSpill) {
 			return err
 		}
 		return fmt.Errorf("%w: %v", ErrBadCheckpoint, err)

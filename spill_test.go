@@ -1,0 +1,111 @@
+package qcsim
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"qcsim/circuit"
+)
+
+// TestWithSpillCompletesUnderBudget: the facade contract for the spill
+// tier — a memory budget that forces the no-spill control into
+// ErrBudgetExceeded completes cleanly with WithSpill, states agree,
+// and Close empties the spill directory.
+func TestWithSpillCompletesUnderBudget(t *testing.T) {
+	cir := circuit.RandomCircuit(10, 40, 21)
+	// Size the budget off an unbudgeted dry run, as in the core test:
+	// above the largest block, below half the lossless footprint.
+	dry, err := New(10, WithBlockAmps(64), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dry.Run(nil, cir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := res.Footprint / 6
+	ctl, err := New(10, WithBlockAmps(64), WithSeed(1),
+		WithMemoryBudget(budget), WithErrorLevels(1e-7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Run(nil, cir); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("control: got %v, want ErrBudgetExceeded", err)
+	}
+	dir := t.TempDir()
+	sp, err := New(10, WithBlockAmps(64), WithSeed(1),
+		WithMemoryBudget(budget), WithErrorLevels(1e-7),
+		WithSpill(dir, 0)) // ramBudget 0 adopts the memory budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Run(nil, cir); err != nil {
+		t.Fatalf("spill run: %v", err)
+	}
+	st := sp.Stats()
+	if st.SpillWrites == 0 {
+		t.Fatal("spill run never wrote to disk")
+	}
+	if st.FinalLevel != 0 {
+		t.Fatalf("spill run escalated to level %d; want lossless completion", st.FinalLevel)
+	}
+	want, err := dry.FullState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sp.FullState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("amplitude %d differs: %v vs %v", i, want[i], got[i])
+		}
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not empty after Close: %v", ents)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestWithSpillErrors: misconfiguration is ErrBadConfig; an unusable
+// spill directory is ErrSpill (the disk failed, not the option set).
+func TestWithSpillErrors(t *testing.T) {
+	if _, err := New(6, WithSpill(t.TempDir(), -1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative RAM budget: got %v, want ErrBadConfig", err)
+	}
+	if _, err := New(6, WithSpill(t.TempDir(), 0)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("no budget at all: got %v, want ErrBadConfig", err)
+	}
+	_, err := New(6, WithSpill("/nonexistent/qcsim-spill", 1<<20))
+	if !errors.Is(err, ErrSpill) {
+		t.Fatalf("bad spill dir: got %v, want ErrSpill", err)
+	}
+	if errors.Is(err, ErrBadConfig) {
+		t.Fatal("bad spill dir also matched ErrBadConfig; identities must stay distinct")
+	}
+}
+
+// TestCloseNoSpill: Close is a safe no-op on in-RAM and MPS backends
+// and on an auto simulator whose decision never closed.
+func TestCloseNoSpill(t *testing.T) {
+	for _, name := range []string{BackendCompressed, BackendMPS, BackendAuto} {
+		s, err := New(4, WithBackend(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
