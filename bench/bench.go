@@ -47,3 +47,28 @@ func SpillResults(opt Options) ([]SpillRow, error) { return harness.SpillResults
 // WriteJSONFile writes a Snapshot of the structured experiments at the
 // given scale to path, indented.
 func WriteJSONFile(path string, opt Options) error { return harness.WriteJSONFile(path, opt) }
+
+// BuildSnapshot runs the structured experiments once and returns the
+// bundle — the build-once entry for tools that both persist and diff.
+func BuildSnapshot(opt Options) (*Snapshot, error) { return harness.BuildSnapshot(opt) }
+
+// WriteSnapshotFile writes an already-built Snapshot to path, indented.
+func WriteSnapshotFile(path string, snap *Snapshot) error {
+	return harness.WriteSnapshotFile(path, snap)
+}
+
+// ReadSnapshot parses a committed BENCH_N.json snapshot.
+func ReadSnapshot(path string) (*Snapshot, error) { return harness.ReadSnapshot(path) }
+
+// Regression is one tracked benchmark metric that moved past the
+// tolerance in the harmful direction between two snapshots.
+type Regression = harness.Regression
+
+// DiffSnapshots compares a fresh snapshot against a committed baseline
+// and returns every tracked-row regression beyond tol (0.20 = 20%).
+// Only machine-portable metrics are gated — deterministic counters and
+// within-run ratios — so a committed baseline from one machine holds
+// on another; see the CI bench-regression step.
+func DiffSnapshots(old, fresh *Snapshot, tol float64) ([]Regression, error) {
+	return harness.DiffSnapshots(old, fresh, tol)
+}

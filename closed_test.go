@@ -1,0 +1,178 @@
+package qcsim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"qcsim/circuit"
+)
+
+// TestClosedSimulatorReturnsErrClosed drives every error-returning
+// method of a closed Simulator and requires the typed ErrClosed —
+// the contract a serving layer's session eviction relies on.
+func TestClosedSimulatorReturnsErrClosed(t *testing.T) {
+	sim, err := New(4, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(context.Background(), circuit.GHZ(4)); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := sim.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := sim.Close(); err != nil {
+		t.Fatalf("second Close must stay a nil no-op, got %v", err)
+	}
+
+	calls := map[string]func() error{
+		"Run": func() error {
+			_, err := sim.Run(context.Background(), circuit.GHZ(4))
+			return err
+		},
+		"RunProgress": func() error {
+			_, err := sim.RunProgress(context.Background(), circuit.GHZ(4), func(ProgressEvent) {})
+			return err
+		},
+		"Reset":         sim.Reset,
+		"SetBasisState": func() error { return sim.SetBasisState(1) },
+		"Amplitude": func() error {
+			_, err := sim.Amplitude(0)
+			return err
+		},
+		"FullState": func() error {
+			_, err := sim.FullState()
+			return err
+		},
+		"Norm": func() error {
+			_, err := sim.Norm()
+			return err
+		},
+		"ProbabilityOne": func() error {
+			_, err := sim.ProbabilityOne(0)
+			return err
+		},
+		"ExpectationZ": func() error {
+			_, err := sim.ExpectationZ(0)
+			return err
+		},
+		"ExpectationZZ": func() error {
+			_, err := sim.ExpectationZZ(0, 1)
+			return err
+		},
+		"MaxCutEnergy": func() error {
+			_, err := sim.MaxCutEnergy([]circuit.Edge{{U: 0, V: 1}})
+			return err
+		},
+		"AssertClassical":     func() error { return sim.AssertClassical(0, 0, 0.1) },
+		"AssertSuperposition": func() error { return sim.AssertSuperposition(0, 0.1) },
+		"AssertProduct":       func() error { return sim.AssertProduct(0, 1, 0.1) },
+		"Sample": func() error {
+			_, err := sim.Sample(4)
+			return err
+		},
+		"Sampler": func() error {
+			_, err := sim.Sampler()
+			return err
+		},
+		"Save": func() error { return sim.Save(io.Discard) },
+		"Load": func() error { return sim.Load(bytes.NewReader(ckpt.Bytes())) },
+	}
+	for name, call := range calls {
+		if err := call(); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s after Close: got %v, want ErrClosed", name, err)
+		}
+	}
+}
+
+// TestClosedAutoSimulator closes an auto simulator whose backend
+// decision never resolved; methods must still report ErrClosed rather
+// than resolving the decision on a dead handle.
+func TestClosedAutoSimulator(t *testing.T) {
+	sim, err := New(4, WithBackend(BackendAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(context.Background(), circuit.GHZ(4)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run on closed auto simulator: got %v, want ErrClosed", err)
+	}
+	if err := sim.Save(io.Discard); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Save on closed auto simulator: got %v, want ErrClosed", err)
+	}
+}
+
+// TestRunProgressStopsAfterCancel cancels the context from inside the
+// first progress callback of a single-sweep circuit. The engine
+// finishes the sweep in flight, but the facade must not deliver
+// events for the trailing gates — a disconnected client must not keep
+// streaming.
+func TestRunProgressStopsAfterCancel(t *testing.T) {
+	sim, err := New(4, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	// 32 H gates on low qubits: block-local, so the sweep scheduler
+	// fuses them into one sweep and PollAbort cannot stop between them
+	// — exactly the window where callbacks used to keep flowing after
+	// cancellation.
+	c := circuit.New(4)
+	for i := 0; i < 32; i++ {
+		c.H(i % 2)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var events int32
+	_, runErr := sim.RunProgress(ctx, c, func(ev ProgressEvent) {
+		if atomic.AddInt32(&events, 1) == 1 {
+			cancel()
+		}
+	})
+	if got := atomic.LoadInt32(&events); got != 1 {
+		t.Fatalf("got %d progress events after cancellation, want exactly 1", got)
+	}
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("unexpected run error: %v", runErr)
+	}
+}
+
+// TestRunProgressCancelKeepsPrefix confirms the cancellation fix did
+// not change run semantics: the run still stops at the next sweep
+// boundary with the completed prefix intact and inspectable.
+func TestRunProgressCancelKeepsPrefix(t *testing.T) {
+	// Sweeps off: every gate is its own sweep, so the abort poll runs
+	// between all of them and the cancel lands mid-circuit.
+	sim, err := New(6, WithSeed(3), WithSweeps(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := circuit.QFT(6, 11)
+	res, runErr := sim.RunProgress(ctx, c, func(ev ProgressEvent) {
+		if ev.Gate == 0 {
+			cancel()
+		}
+	})
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", runErr)
+	}
+	if res == nil || res.Gates <= 0 || res.Gates >= len(c.Gates) {
+		t.Fatalf("cancelled run should keep a proper prefix, got %+v", res)
+	}
+	if _, err := sim.Norm(); err != nil {
+		t.Fatalf("simulator must stay inspectable after cancellation: %v", err)
+	}
+}

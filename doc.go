@@ -165,6 +165,24 @@
 // registered factories must honor (self-describing payloads, exact
 // output counts, error bounds respected, fresh instance per call).
 //
+// # Serving
+//
+// EstimateCircuit prices a prospective (qubits, circuit, options) job
+// without allocating any state: the structural bond-dimension bound,
+// MPS tensor bytes, the dense worst case 2^(n+4), and the engine the
+// auto-router would pick. It exists for serving layers that must
+// admit or reject work BEFORE committing memory; cmd/qcserve
+// (internal/server) builds a multi-tenant server on it — per-tenant
+// memory budgets and rate limits, typed admission codes
+// (ADMIT_COMPRESSED / ADMIT_MPS / ADMIT_SPILL / REJECT_BUDGET / ...),
+// SSE progress streams, and idle-session suspend/resume over the
+// Save/Load checkpoint path. See internal/server/protocol.go for the
+// wire protocol and the README's Serving section for the lifecycle.
+//
+// After Close, every Simulator method reports ErrClosed; Close itself
+// stays idempotent. Serving layers rely on this to make
+// use-after-suspend a typed error rather than a crash.
+//
 // # Module layout
 //
 // This package and qcsim/circuit (plus qcsim/bench, the experiment
@@ -173,8 +191,9 @@
 // compressor suite (the paper's Solutions A-D plus SZ/ZFP/FPZIP-model
 // comparators) in internal/compress/...; circuit representation and the
 // dense reference simulator in internal/quantum; the SPMD rank runtime
-// in internal/mpi; and the experiment harness that regenerates every
-// table and figure of the paper in internal/harness.
+// in internal/mpi; the experiment harness that regenerates every
+// table and figure of the paper in internal/harness; and the qcserve
+// multi-tenant serving subsystem in internal/server.
 //
 // # Parallelism
 //

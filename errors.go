@@ -54,6 +54,14 @@ var (
 	// SetBasisState reinitialized it, or a checkpoint loaded since the
 	// Sampler was built. Build a fresh one with Simulator.Sampler.
 	ErrStaleSampler = errors.New("qcsim: sampler stale: state mutated since it was built")
+
+	// ErrClosed reports a method call on a Simulator after Close. Every
+	// error-returning method checks it first, so a caller that evicts a
+	// simulator (a serving layer suspending an idle session, a pool
+	// recycling handles) gets a typed refusal instead of undefined
+	// behavior from a torn-down engine. Close itself stays idempotent
+	// and never reports ErrClosed.
+	ErrClosed = errors.New("qcsim: simulator closed")
 )
 
 // ErrUnsupportedOp reports an operation the selected backend genuinely

@@ -1,0 +1,117 @@
+package qcsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"qcsim/circuit"
+)
+
+func TestEstimateCircuitRouting(t *testing.T) {
+	ghz := circuit.GHZ(40)
+	est, err := EstimateCircuit(40, ghz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.MPSRunnable {
+		t.Fatal("GHZ-40 must be MPS-runnable")
+	}
+	if est.BondDim != 2 {
+		t.Fatalf("GHZ bond estimate = %d, want 2", est.BondDim)
+	}
+	if est.Backend != BackendMPS {
+		t.Fatalf("GHZ-40 should route to mps, got %q", est.Backend)
+	}
+	if est.MPSBytes <= 0 || est.MPSBytes > 1<<20 {
+		t.Fatalf("GHZ-40 MPS estimate %d bytes implausible", est.MPSBytes)
+	}
+	if est.UncompressedBytes != MemoryRequirement(40) {
+		t.Fatalf("uncompressed estimate %v, want %v", est.UncompressedBytes, MemoryRequirement(40))
+	}
+
+	// A measuring circuit is not MPS-runnable and must route compressed.
+	meas := circuit.New(8).H(0).CNOT(0, 1).Measure(0)
+	est, err = EstimateCircuit(8, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MPSRunnable || est.Backend != BackendCompressed {
+		t.Fatalf("measuring circuit: MPSRunnable=%v backend=%q, want compressed route", est.MPSRunnable, est.Backend)
+	}
+
+	// Deep brickwork exceeds a tight χ cap and routes compressed (the
+	// 12-qubit Hilbert ceiling caps the estimate at 2^6 = 64, so the
+	// cap must sit below that to exercise the rejection).
+	deep := circuit.Brickwork(12, 40, 5)
+	est, err = EstimateCircuit(12, deep, WithBondDim(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Backend != BackendCompressed {
+		t.Fatalf("deep brickwork at χ=8 should route compressed, got %q", est.Backend)
+	}
+	// ... but a raised χ cap flips it back.
+	est, err = EstimateCircuit(12, deep, WithBondDim(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Backend != BackendMPS {
+		t.Fatalf("deep brickwork with huge χ should route mps, got %q", est.Backend)
+	}
+}
+
+// TestEstimateAgreesWithAuto: the estimate's routing decision must
+// match what a WithBackend("auto") simulator actually picks — the
+// admission controller and the engine must not disagree.
+func TestEstimateAgreesWithAuto(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		c    *circuit.Circuit
+		n    int
+	}{
+		{"ghz", circuit.GHZ(10), 10},
+		{"qft", circuit.QFT(10, 1), 10},
+		{"brickwork-shallow", circuit.Brickwork(10, 2, 3), 10},
+		{"brickwork-deep", circuit.Brickwork(10, 30, 3), 10},
+	} {
+		est, err := EstimateCircuit(tc.n, tc.c)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		sim, err := New(tc.n, WithBackend(BackendAuto))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if _, err := sim.Run(context.Background(), tc.c); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := sim.Backend(); got != est.Backend {
+			t.Errorf("%s: estimate routes %q but auto picked %q", tc.name, est.Backend, got)
+		}
+		sim.Close()
+	}
+}
+
+func TestEstimateCircuitValidation(t *testing.T) {
+	if _, err := EstimateCircuit(4, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil circuit: %v, want ErrBadConfig", err)
+	}
+	if _, err := EstimateCircuit(5, circuit.GHZ(4)); !errors.Is(err, ErrCircuitMismatch) {
+		t.Fatalf("width mismatch: %v, want ErrCircuitMismatch", err)
+	}
+	if _, err := EstimateCircuit(99, circuit.GHZ(99)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("99 qubits: %v, want ErrBadConfig", err)
+	}
+	if _, err := EstimateCircuit(4, circuit.GHZ(4), WithCodec("nope")); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("bad codec: %v, want ErrUnknownCodec", err)
+	}
+	// Noise forces the compressed route even on an MPS-friendly circuit.
+	est, err := EstimateCircuit(4, circuit.GHZ(4), WithNoise(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MPSRunnable || est.Backend != BackendCompressed {
+		t.Fatalf("noisy estimate should route compressed, got %+v", est)
+	}
+}

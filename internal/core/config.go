@@ -113,6 +113,14 @@ func (c Config) Validate() error {
 	return err
 }
 
+// ValidatedDefaults returns a validated copy with every default
+// applied (codec selection, block and worker clamping, spill
+// normalization) without allocating any state — the planning view of
+// a configuration behind the facade's EstimateCircuit admission hook.
+func (c Config) ValidatedDefaults() (Config, error) {
+	return c.withDefaults()
+}
+
 // withDefaults returns a validated copy with defaults applied.
 func (c Config) withDefaults() (Config, error) {
 	if c.Qubits < 1 || c.Qubits > 62 {

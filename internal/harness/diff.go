@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+)
+
+// Bench-regression gating: committed BENCH_N.json snapshots are diffed
+// against a fresh run so the speed claims in CHANGES.md stay
+// regression-gated rather than anecdotal. Raw elapsed times are NOT
+// comparable across machines (the committed baseline and the CI runner
+// differ in absolute speed), so every tracked metric is either a
+// deterministic counter (codec-call reductions, escalation levels,
+// routing decisions) or a dimensionless within-run ratio (sweep
+// speedup, sampler speedup, spill-vs-control elapsed) — both survive a
+// hardware change, and a >tol move in the harmful direction is a real
+// regression, not runner noise.
+//
+// The deterministic counters are gated unconditionally. The timing
+// ratios are gated only when the measured durations on BOTH sides sit
+// above minGateDuration: sub-millisecond rows at the -small scale vary
+// ±50% run to run, so a 20% gate on them would flag noise, not
+// regressions. The counters still cover those rows — codec-call
+// reduction IS the sweep scheduler's speed claim, measured exactly.
+
+// minGateDuration is the noise floor for timing-ratio gates: a ratio
+// is compared only when the slower side of both snapshots took at
+// least this long, which puts the run-to-run jitter well under the
+// tolerance.
+const minGateDuration = 250 * time.Millisecond
+
+// Regression is one tracked metric that moved past the tolerance in
+// the harmful direction between two snapshots.
+type Regression struct {
+	// Row names the workload, e.g. "sweep/Grover-7q" or "spill/QFT-10".
+	Row string
+	// Metric names the tracked quantity, e.g. "speedup" or "reduction".
+	Metric string
+	// Old and New are the baseline and fresh values.
+	Old, New float64
+	// Detail is a human-readable explanation of the failure.
+	Detail string
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.3g -> %.3g (%s)", r.Row, r.Metric, r.Old, r.New, r.Detail)
+}
+
+// ReadSnapshot parses a BENCH_N.json snapshot file.
+func ReadSnapshot(path string) (*BenchSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap BenchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("harness: snapshot %s: %w", path, err)
+	}
+	if snap.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("harness: snapshot %s has schema %d, want %d", path, snap.Schema, SnapshotSchema)
+	}
+	return &snap, nil
+}
+
+// DiffSnapshots compares the tracked rows of a fresh snapshot against
+// a committed baseline and returns every regression beyond tol (0.20
+// = a 20% move in the harmful direction). The two snapshots must have
+// been produced at the same Options scale; comparing different scales
+// is an error, not a clean bill.
+func DiffSnapshots(old, fresh *BenchSnapshot, tol float64) ([]Regression, error) {
+	if !reflect.DeepEqual(old.Options, fresh.Options) {
+		return nil, fmt.Errorf("harness: snapshot scales differ (baseline %+v, fresh %+v)", old.Options, fresh.Options)
+	}
+	var regs []Regression
+	add := func(row, metric string, oldV, newV float64, detail string) {
+		regs = append(regs, Regression{Row: row, Metric: metric, Old: oldV, New: newV, Detail: detail})
+	}
+	// higherBetter flags newV < oldV·(1-tol); tolerated otherwise.
+	higherBetter := func(row, metric string, oldV, newV float64) {
+		if oldV > 0 && newV < oldV*(1-tol) {
+			add(row, metric, oldV, newV, fmt.Sprintf("dropped more than %.0f%%", tol*100))
+		}
+	}
+
+	sweepOld := make(map[string]SweepRow, len(old.Sweep))
+	for _, r := range old.Sweep {
+		sweepOld[r.Benchmark] = r
+	}
+	for _, n := range fresh.Sweep {
+		o, ok := sweepOld[n.Benchmark]
+		if !ok {
+			continue // new workload: nothing to gate against
+		}
+		delete(sweepOld, n.Benchmark)
+		// Codec-call reduction is deterministic — a drop means the
+		// scheduler batches less than it used to.
+		higherBetter("sweep/"+n.Benchmark, "reduction", o.Reduction, n.Reduction)
+		if o.ElapsedOn > 0 && n.ElapsedOn > 0 &&
+			o.ElapsedOff >= minGateDuration && n.ElapsedOff >= minGateDuration {
+			higherBetter("sweep/"+n.Benchmark, "speedup",
+				float64(o.ElapsedOff)/float64(o.ElapsedOn),
+				float64(n.ElapsedOff)/float64(n.ElapsedOn))
+		}
+	}
+	for name := range sweepOld {
+		add("sweep/"+name, "row", 1, 0, "tracked row missing from fresh snapshot")
+	}
+
+	samplingOld := make(map[string]SamplingRow, len(old.Sampling))
+	for _, r := range old.Sampling {
+		samplingOld[r.Benchmark] = r
+	}
+	for _, n := range fresh.Sampling {
+		o, ok := samplingOld[n.Benchmark]
+		if !ok {
+			continue
+		}
+		delete(samplingOld, n.Benchmark)
+		if o.ScanTime >= minGateDuration && n.ScanTime >= minGateDuration {
+			higherBetter("sampling/"+n.Benchmark, "speedup", o.Speedup, n.Speedup)
+		}
+	}
+	for name := range samplingOld {
+		add("sampling/"+name, "row", 1, 0, "tracked row missing from fresh snapshot")
+	}
+
+	crossOld := make(map[int]CrossoverRow, len(old.Crossover))
+	for _, r := range old.Crossover {
+		crossOld[r.Depth] = r
+	}
+	for _, n := range fresh.Crossover {
+		o, ok := crossOld[n.Depth]
+		if !ok {
+			continue
+		}
+		delete(crossOld, n.Depth)
+		row := fmt.Sprintf("crossover/depth-%d", n.Depth)
+		// Structural outputs are deterministic: the bond estimate and
+		// the auto router's pick must not drift.
+		if n.EstBond != o.EstBond {
+			add(row, "est-bond", float64(o.EstBond), float64(n.EstBond), "structural bond estimate changed")
+		}
+		if n.Auto != o.Auto {
+			add(row, "auto-pick", 0, 0, fmt.Sprintf("auto routing flipped %s -> %s", o.Auto, n.Auto))
+		}
+	}
+	for depth := range crossOld {
+		add(fmt.Sprintf("crossover/depth-%d", depth), "row", 1, 0, "tracked row missing from fresh snapshot")
+	}
+
+	spillOld := make(map[string]SpillRow, len(old.Spill))
+	for _, r := range old.Spill {
+		spillOld[r.Benchmark] = r
+	}
+	for _, n := range fresh.Spill {
+		o, ok := spillOld[n.Benchmark]
+		if !ok {
+			continue
+		}
+		delete(spillOld, n.Benchmark)
+		row := "spill/" + n.Benchmark
+		// The spill tier's whole claim: the budgeted run completes
+		// without tripping the ladder.
+		if !o.SpillOverBudget && n.SpillOverBudget {
+			add(row, "over-budget", 0, 1, "spill run now exceeds the budget")
+		}
+		if n.SpillFinalLevel > o.SpillFinalLevel {
+			add(row, "final-level", float64(o.SpillFinalLevel), float64(n.SpillFinalLevel), "spill run now escalates further")
+		}
+		// Within-run cost ratio: spill elapsed relative to the
+		// unspilled control on the same machine. Lower is better.
+		if o.ControlElapsed >= minGateDuration && n.ControlElapsed >= minGateDuration && o.SpillElapsed > 0 {
+			oldRatio := float64(o.SpillElapsed) / float64(o.ControlElapsed)
+			newRatio := float64(n.SpillElapsed) / float64(n.ControlElapsed)
+			if newRatio > oldRatio*(1+tol) {
+				add(row, "spill-cost", oldRatio, newRatio, fmt.Sprintf("spill/control elapsed ratio grew more than %.0f%%", tol*100))
+			}
+		}
+	}
+	for name := range spillOld {
+		add("spill/"+name, "row", 1, 0, "tracked row missing from fresh snapshot")
+	}
+	return regs, nil
+}

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func baselineSnapshot() *BenchSnapshot {
+	return &BenchSnapshot{
+		Schema:  SnapshotSchema,
+		Options: Small(),
+		// Durations sit above minGateDuration so the timing-ratio gates
+		// are live in these tests, not floored out.
+		Sweep: []SweepRow{{
+			Benchmark: "Grover-7q", Reduction: 100,
+			ElapsedOff: 10 * time.Second, ElapsedOn: time.Second,
+		}},
+		Sampling: []SamplingRow{{Benchmark: "GHZ-11q", Speedup: 50, ScanTime: 10 * time.Second}},
+		Crossover: []CrossoverRow{{
+			Depth: 2, EstBond: 4, Auto: "mps",
+		}},
+		Spill: []SpillRow{{
+			Benchmark: "QFT-10", SpillOverBudget: false, SpillFinalLevel: 0,
+			ControlElapsed: time.Second, SpillElapsed: 1500 * time.Millisecond,
+		}},
+	}
+}
+
+func TestDiffSnapshotsCleanWithinTolerance(t *testing.T) {
+	old := baselineSnapshot()
+	fresh := baselineSnapshot()
+	// Small moves inside 20%: not regressions.
+	fresh.Sweep[0].Reduction = 90
+	fresh.Sweep[0].ElapsedOn = 1100 * time.Millisecond
+	fresh.Sampling[0].Speedup = 45
+	fresh.Spill[0].SpillElapsed = 1600 * time.Millisecond
+	regs, err := DiffSnapshots(old, fresh, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestDiffSnapshotsCatchesRegressions(t *testing.T) {
+	old := baselineSnapshot()
+	fresh := baselineSnapshot()
+	fresh.Sweep[0].Reduction = 50                 // reduction halved
+	fresh.Sampling[0].Speedup = 10                // sampler speedup collapsed
+	fresh.Crossover[0].Auto = "compressed"        // routing flipped
+	fresh.Spill[0].SpillOverBudget = true         // spill tier broke
+	fresh.Spill[0].SpillElapsed = 4 * time.Second // spill cost blew up
+	regs, err := DiffSnapshots(old, fresh, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"sweep/Grover-7q|reduction":   false,
+		"sampling/GHZ-11q|speedup":    false,
+		"crossover/depth-2|auto-pick": false,
+		"spill/QFT-10|over-budget":    false,
+		"spill/QFT-10|spill-cost":     false,
+	}
+	for _, r := range regs {
+		key := r.Row + "|" + r.Metric
+		if _, ok := want[key]; !ok {
+			t.Errorf("unexpected regression %v", r)
+			continue
+		}
+		want[key] = true
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("expected regression %s not reported", key)
+		}
+	}
+}
+
+func TestDiffSnapshotsMissingRow(t *testing.T) {
+	old := baselineSnapshot()
+	fresh := baselineSnapshot()
+	fresh.Sweep = nil
+	regs, err := DiffSnapshots(old, fresh, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "row" || !strings.HasPrefix(regs[0].Row, "sweep/") {
+		t.Fatalf("want one missing-row regression, got %v", regs)
+	}
+}
+
+func TestDiffSnapshotsScaleMismatch(t *testing.T) {
+	old := baselineSnapshot()
+	fresh := baselineSnapshot()
+	fresh.Options.BlockAmps = old.Options.BlockAmps * 2
+	if _, err := DiffSnapshots(old, fresh, 0.20); err == nil {
+		t.Fatal("differently-scaled snapshots must not diff cleanly")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	snap := baselineSnapshot()
+	if err := WriteSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, err := DiffSnapshots(snap, back, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("round-tripped snapshot must diff clean, got %v", regs)
+	}
+}

@@ -68,11 +68,24 @@ func WriteJSON(w io.Writer, opt Options) error {
 
 // WriteJSONFile is WriteJSON to a named file.
 func WriteJSONFile(path string, opt Options) error {
+	snap, err := BuildSnapshot(opt)
+	if err != nil {
+		return err
+	}
+	return WriteSnapshotFile(path, snap)
+}
+
+// WriteSnapshotFile writes an already-built snapshot to path,
+// indented — the build-once path for tools that both persist and diff
+// one run.
+func WriteSnapshotFile(path string, snap *BenchSnapshot) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteJSON(f, opt); err != nil {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"qcsim"
+	"qcsim/circuit"
+)
+
+// minSpillResident is the smallest resident cap the admission
+// controller will price a spill-tier job at: two decompressed blocks
+// of scratch is the floor below which the tiered store thrashes.
+const minSpillResident = int64(64) << 10
+
+// admit prices a circuit against the session's tenant and routes it to
+// an engine — BEFORE any state is allocated. The decision order:
+//
+//  1. Already-routed session: the engine was chosen by the first
+//     admitted job; later jobs ride the existing route (and its
+//     existing reservation) for free.
+//  2. MPS route: the structural bond estimate fits the session's χ cap
+//     and every gate is MPS-runnable → reserve only the (polynomial)
+//     tensor bytes.
+//  3. Compressed route: the dense worst case 2^(n+4) fits the tenant's
+//     remaining allowance → reserve it. The job can then never blow
+//     the budget, however incompressible its state gets.
+//  4. Spill route: the worst case fits the server's disk budget →
+//     reserve only a resident cap (the tenant's remaining allowance,
+//     floored at two blocks) and let the tiered store keep the
+//     overflow on disk.
+//  5. Typed rejection: CodeRejectBudget, nothing allocated, nothing
+//     charged.
+//
+// Caller holds s.mu. On admission the session's route is fixed and its
+// priced bytes are reserved in the ledger (s.reserved > 0), so the
+// later engine build in ensureResident does not re-charge. fresh
+// reports that THIS call created the route (and holds its reservation)
+// — the caller uses it to undo the admission if the job never enqueues.
+func (srv *Server) admit(s *Session, c *circuit.Circuit) (adm *Admission, fresh bool, err error) {
+	if s.route != nil {
+		return s.route, false, nil
+	}
+
+	var opts []qcsim.Option
+	if s.bondDim > 0 {
+		opts = append(opts, qcsim.WithBondDim(s.bondDim))
+	}
+	if s.blockAmps > 0 {
+		opts = append(opts, qcsim.WithBlockAmps(s.blockAmps))
+	}
+	est, err := qcsim.EstimateCircuit(s.Qubits, c, opts...)
+	if err != nil {
+		return nil, false, err
+	}
+
+	if est.Backend == qcsim.BackendMPS {
+		if err := srv.ledger.Reserve(s.Tenant, est.MPSBytes); err != nil {
+			return &Admission{
+				Code: CodeRejectBudget, EstBondDim: est.BondDim,
+				PricedBytes: est.MPSBytes,
+				Reason:      fmt.Sprintf("mps tensors need %d bytes: %v", est.MPSBytes, err),
+			}, false, nil
+		}
+		adm := &Admission{
+			Code: CodeAdmitMPS, Backend: qcsim.BackendMPS,
+			EstBondDim: est.BondDim, PricedBytes: est.MPSBytes,
+		}
+		s.route = adm
+		s.reserved = est.MPSBytes
+		return adm, true, nil
+	}
+
+	// Dense worst case. Registers past ~59 qubits overflow int64 and
+	// can never be RAM-priced; they go straight to the spill/reject
+	// arms.
+	dense := int64(-1)
+	if est.UncompressedBytes < float64(int64(1)<<62) {
+		dense = int64(est.UncompressedBytes)
+	}
+	if dense > 0 {
+		if err := srv.ledger.Reserve(s.Tenant, dense); err == nil {
+			adm := &Admission{
+				Code: CodeAdmitCompressed, Backend: qcsim.BackendCompressed,
+				EstBondDim: est.BondDim, PricedBytes: dense,
+			}
+			s.route = adm
+			s.reserved = dense
+			return adm, true, nil
+		} else if !errors.Is(err, ErrTenantBudget) && !errors.Is(err, ErrGlobalBudget) {
+			return nil, false, err
+		}
+	}
+
+	// Spill tier: worst case on disk, resident cap in RAM.
+	if srv.cfg.DiskBudget > 0 && est.UncompressedBytes <= float64(srv.cfg.DiskBudget) {
+		resident := srv.ledger.Remaining(s.Tenant)
+		if dense > 0 && resident > dense {
+			resident = dense
+		}
+		floor := 2 * est.BlockBytes
+		if floor < minSpillResident {
+			floor = minSpillResident
+		}
+		if resident < floor {
+			resident = floor
+		}
+		if err := srv.ledger.Reserve(s.Tenant, resident); err == nil {
+			adm := &Admission{
+				Code: CodeAdmitSpill, Backend: qcsim.BackendCompressed,
+				EstBondDim: est.BondDim, PricedBytes: resident,
+			}
+			s.route = adm
+			s.reserved = resident
+			return adm, true, nil
+		}
+	}
+
+	reason := fmt.Sprintf("worst case %.0f bytes exceeds tenant allowance %d",
+		est.UncompressedBytes, srv.ledger.Remaining(s.Tenant))
+	if srv.cfg.DiskBudget > 0 {
+		reason += fmt.Sprintf(" and disk budget %d", srv.cfg.DiskBudget)
+	} else {
+		reason += " (no disk spill budget configured)"
+	}
+	return &Admission{
+		Code: CodeRejectBudget, EstBondDim: est.BondDim,
+		PricedBytes: dense, Reason: reason,
+	}, false, nil
+}
+
+// releaseAdmission undoes an admission whose job never ran (enqueue
+// refused): if the engine was never built, the reservation is returned
+// and the route cleared so the next submission re-prices from scratch.
+// Caller must NOT hold s.mu.
+func (srv *Server) releaseAdmission(s *Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sim == nil && s.ckptPath == "" && s.reserved > 0 {
+		srv.ledger.Release(s.Tenant, s.reserved)
+		s.reserved = 0
+		s.route = nil
+	}
+}
+
+// admissionCode maps an admission/estimate error onto a typed code.
+func admissionCode(err error) Code {
+	switch {
+	case errors.Is(err, qcsim.ErrCircuitMismatch):
+		return CodeErrBadCircuit
+	case errors.Is(err, qcsim.ErrBadConfig), errors.Is(err, qcsim.ErrUnknownCodec):
+		return CodeErrBadRequest
+	case errors.Is(err, ErrTenantBudget), errors.Is(err, ErrGlobalBudget):
+		return CodeRejectBudget
+	default:
+		return CodeErrInternal
+	}
+}

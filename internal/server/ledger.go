@@ -1,0 +1,149 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Ledger is the process-wide resource ledger: one shared account of
+// reserved resident bytes across every session of every tenant, plus
+// per-tenant sub-accounts. Admission reserves BEFORE any state is
+// allocated and releases on suspend/close, so the sum of live
+// reservations never exceeds the global capacity — the invariant the
+// whole multi-tenant design hangs on. (ROADMAP items 2 and 3 reuse
+// this: the spill tier's RAM budget and the distributed transport's
+// per-node budgets are the same arithmetic.)
+type Ledger struct {
+	mu       sync.Mutex
+	capacity int64 // global resident-bytes cap; 0 = unlimited
+	used     int64
+	tenants  map[string]*account
+}
+
+type account struct {
+	budget int64 // per-tenant cap; 0 = unlimited
+	used   int64
+}
+
+// Typed ledger refusals: the admission controller maps both onto
+// CodeRejectBudget but the reason string distinguishes them.
+var (
+	// ErrTenantBudget reports the tenant's own allowance exhausted.
+	ErrTenantBudget = errors.New("server: tenant budget exhausted")
+	// ErrGlobalBudget reports the process-wide capacity exhausted —
+	// the tenant had room, the machine did not.
+	ErrGlobalBudget = errors.New("server: global budget exhausted")
+)
+
+// NewLedger builds a ledger with the given global capacity (0 =
+// unlimited).
+func NewLedger(capacity int64) *Ledger {
+	return &Ledger{capacity: capacity, tenants: make(map[string]*account)}
+}
+
+// AddTenant registers a tenant account with its budget (0 =
+// unlimited). Re-adding an existing tenant only updates the budget.
+func (l *Ledger) AddTenant(name string, budget int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if a, ok := l.tenants[name]; ok {
+		a.budget = budget
+		return
+	}
+	l.tenants[name] = &account{budget: budget}
+}
+
+// Reserve charges bytes to the tenant and the global account, or
+// refuses with ErrTenantBudget / ErrGlobalBudget without charging
+// anything.
+func (l *Ledger) Reserve(tenant string, bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("server: negative reservation %d", bytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("server: unknown tenant %q", tenant)
+	}
+	if a.budget > 0 && a.used+bytes > a.budget {
+		return fmt.Errorf("%w: %s holds %d of %d bytes, wants %d more",
+			ErrTenantBudget, tenant, a.used, a.budget, bytes)
+	}
+	if l.capacity > 0 && l.used+bytes > l.capacity {
+		return fmt.Errorf("%w: %d of %d bytes reserved, %s wants %d more",
+			ErrGlobalBudget, l.used, l.capacity, tenant, bytes)
+	}
+	a.used += bytes
+	l.used += bytes
+	return nil
+}
+
+// Release returns bytes to the tenant and global accounts. Releasing
+// more than is held clamps to zero (and indicates a bookkeeping bug
+// upstream, but never corrupts the ledger into negative territory).
+func (l *Ledger) Release(tenant string, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if a, ok := l.tenants[tenant]; ok {
+		a.used -= bytes
+		if a.used < 0 {
+			a.used = 0
+		}
+	}
+	l.used -= bytes
+	if l.used < 0 {
+		l.used = 0
+	}
+}
+
+// Remaining returns the tenant's unreserved allowance, bounded by the
+// global headroom. Unlimited budgets report the other bound, or
+// MaxInt-ish when both are unlimited.
+func (l *Ledger) Remaining(tenant string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	const unbounded = int64(1) << 62
+	rem := unbounded
+	if a, ok := l.tenants[tenant]; ok && a.budget > 0 {
+		rem = a.budget - a.used
+	}
+	if l.capacity > 0 {
+		if g := l.capacity - l.used; g < rem {
+			rem = g
+		}
+	}
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// Used returns the tenant's reserved bytes.
+func (l *Ledger) Used(tenant string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if a, ok := l.tenants[tenant]; ok {
+		return a.used
+	}
+	return 0
+}
+
+// TotalUsed returns the process-wide reserved bytes.
+func (l *Ledger) TotalUsed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+// Tenants returns the registered tenant names (unordered).
+func (l *Ledger) Tenants() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.tenants))
+	for name := range l.tenants {
+		names = append(names, name)
+	}
+	return names
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Metrics is the server's counter set. Counters are lock-free atomics
+// bumped on the hot paths; gauges (queue depth, resident bytes, codec
+// calls) are computed at scrape time from the live structures, so the
+// scrape is always consistent with the ledger rather than a lagging
+// shadow copy.
+type Metrics struct {
+	Submitted         atomic.Int64
+	AdmitCompressed   atomic.Int64
+	AdmitMPS          atomic.Int64
+	AdmitSpill        atomic.Int64
+	RejectBudget      atomic.Int64
+	RejectRate        atomic.Int64
+	RejectQueueFull   atomic.Int64
+	JobsDone          atomic.Int64
+	JobsFailed        atomic.Int64
+	JobsCancelled     atomic.Int64
+	Suspends          atomic.Int64
+	Resumes           atomic.Int64
+	Builds            atomic.Int64
+	SessionsCreated   atomic.Int64
+	SessionsClosed    atomic.Int64
+	SamplesDrawn      atomic.Int64
+	ShutdownSuspended atomic.Int64
+}
+
+// recordAdmission bumps the counter matching an admission code.
+func (m *Metrics) recordAdmission(c Code) {
+	switch c {
+	case CodeAdmitCompressed:
+		m.AdmitCompressed.Add(1)
+	case CodeAdmitMPS:
+		m.AdmitMPS.Add(1)
+	case CodeAdmitSpill:
+		m.AdmitSpill.Add(1)
+	case CodeRejectBudget:
+		m.RejectBudget.Add(1)
+	case CodeRejectRate:
+		m.RejectRate.Add(1)
+	case CodeRejectQueueFull:
+		m.RejectQueueFull.Add(1)
+	}
+}
+
+// writeMetrics renders the Prometheus text exposition format: the
+// atomic counters, plus scrape-time gauges read from the queue, the
+// ledger, and every live session's simulator accounting.
+func (srv *Server) writeMetrics(w io.Writer) {
+	m := &srv.metrics
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP qcserve_%s %s\n# TYPE qcserve_%s counter\nqcserve_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP qcserve_%s %s\n# TYPE qcserve_%s gauge\nqcserve_%s %d\n", name, help, name, name, v)
+	}
+
+	counter("jobs_submitted_total", "circuits submitted", m.Submitted.Load())
+	counter("admissions_compressed_total", "jobs admitted on the compressed engine", m.AdmitCompressed.Load())
+	counter("admissions_mps_total", "jobs admitted on the MPS engine", m.AdmitMPS.Load())
+	counter("admissions_spill_total", "jobs admitted on the compressed engine with disk spill", m.AdmitSpill.Load())
+	counter("rejections_budget_total", "jobs rejected by the budget ledger", m.RejectBudget.Load())
+	counter("rejections_rate_total", "submissions rejected by tenant rate limits", m.RejectRate.Load())
+	counter("rejections_queue_full_total", "submissions rejected by the bounded queue", m.RejectQueueFull.Load())
+	counter("jobs_done_total", "jobs completed", m.JobsDone.Load())
+	counter("jobs_failed_total", "jobs failed", m.JobsFailed.Load())
+	counter("jobs_cancelled_total", "jobs cancelled", m.JobsCancelled.Load())
+	counter("suspends_total", "sessions checkpointed to disk", m.Suspends.Load())
+	counter("resumes_total", "sessions restored from checkpoint", m.Resumes.Load())
+	counter("engine_builds_total", "simulator engines constructed", m.Builds.Load())
+	counter("sessions_created_total", "sessions created", m.SessionsCreated.Load())
+	counter("sessions_closed_total", "sessions closed", m.SessionsClosed.Load())
+	counter("samples_drawn_total", "measurement shots drawn", m.SamplesDrawn.Load())
+
+	gauge("queue_depth", "jobs waiting in the bounded queue", int64(len(srv.jobs)))
+	gauge("reserved_bytes", "process-wide resident bytes reserved in the ledger", srv.ledger.TotalUsed())
+
+	// Per-tenant resident bytes, sorted for a stable scrape.
+	names := srv.ledger.Tenants()
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP qcserve_tenant_reserved_bytes resident bytes reserved per tenant\n# TYPE qcserve_tenant_reserved_bytes gauge\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "qcserve_tenant_reserved_bytes{tenant=%q} %d\n", name, srv.ledger.Used(name))
+	}
+
+	// Codec traffic and live-session gauges, summed across resident
+	// engines (suspended sessions report their last snapshot).
+	var live, suspended, codecCalls, gatesRun int64
+	srv.mu.Lock()
+	sessions := make([]*Session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		snap := s.snap
+		if s.sim != nil {
+			live++
+			snap = s.sim.Snapshot()
+		} else if s.ckptPath != "" {
+			suspended++
+		}
+		s.mu.Unlock()
+		codecCalls += snap.Stats.CompressCalls + snap.Stats.DecompressCalls
+		gatesRun += int64(snap.GatesRun)
+	}
+	gauge("sessions_resident", "sessions with a live engine in RAM", live)
+	gauge("sessions_suspended", "sessions checkpointed on disk", suspended)
+	gauge("codec_calls", "cumulative block encode+decode calls across sessions", codecCalls)
+	gauge("gates_run", "cumulative gates executed across sessions", gatesRun)
+}

@@ -1,0 +1,237 @@
+package server
+
+import "net/http"
+
+// The qcserve wire protocol: HTTP + JSON with typed return codes,
+// modeled on the libddwaf C API's handle/context separation and typed
+// DDWAF_* results — every response carries a Code the client can
+// switch on without parsing error strings.
+//
+//	POST   /v1/sessions                     create a session handle
+//	GET    /v1/sessions/{id}                inspect a session
+//	DELETE /v1/sessions/{id}                close a session
+//	POST   /v1/sessions/{id}/jobs           submit a circuit (admission-controlled);
+//	                                        streams progress as SSE, final event carries the result
+//	POST   /v1/sessions/{id}/sample         draw shots from the session's state
+//	POST   /v1/sessions/{id}/suspend        checkpoint the session to disk and free its RAM
+//	GET    /metrics                         Prometheus-style text metrics
+//	GET    /healthz                         liveness
+//
+// Circuits travel as qc text (circuit.Serialize / circuit.Parse):
+//
+//	qubits 3
+//	h 0
+//	cx 0 1
+//	cx 1 2
+
+// Code is a typed return code. Admission codes (ADMIT_*/REJECT_*) come
+// from the admission controller and are decided BEFORE any state is
+// allocated; ERR_* codes are request or execution failures.
+type Code string
+
+const (
+	// CodeOK is the generic success code for non-admission responses.
+	CodeOK Code = "OK"
+
+	// CodeAdmitCompressed admits the job on the compressed full-state
+	// engine, its worst-case footprint reserved against the tenant and
+	// global budgets.
+	CodeAdmitCompressed Code = "ADMIT_COMPRESSED"
+	// CodeAdmitMPS admits the job on the MPS engine: the structural
+	// bond-dimension estimate fits, so only the (polynomial) tensor
+	// storage is reserved.
+	CodeAdmitMPS Code = "ADMIT_MPS"
+	// CodeAdmitSpill admits the job on the compressed engine with the
+	// disk spill tier: the worst case exceeds the tenant's RAM
+	// allowance but fits the server's disk budget, so only the
+	// resident cap is reserved and the overflow lives in the spill
+	// file.
+	CodeAdmitSpill Code = "ADMIT_SPILL"
+
+	// CodeRejectBudget rejects a job whose priced footprint fits
+	// neither the tenant's remaining RAM allowance nor (with spill)
+	// the server's disk budget. No state was allocated.
+	CodeRejectBudget Code = "REJECT_BUDGET"
+	// CodeRejectRate rejects a submission that exhausted the tenant's
+	// token bucket. Retry later.
+	CodeRejectRate Code = "REJECT_RATE"
+	// CodeRejectQueueFull rejects a submission that found the bounded
+	// job queue full. Retry later.
+	CodeRejectQueueFull Code = "REJECT_QUEUE_FULL"
+
+	// CodeErrUnknownTenant names a tenant the server was not
+	// configured with.
+	CodeErrUnknownTenant Code = "ERR_UNKNOWN_TENANT"
+	// CodeErrNoSession names a session id that does not exist (never
+	// created, or already closed).
+	CodeErrNoSession Code = "ERR_NO_SESSION"
+	// CodeErrBadRequest is a malformed request (unparseable JSON,
+	// invalid qubit count, bad options).
+	CodeErrBadRequest Code = "ERR_BAD_REQUEST"
+	// CodeErrBadCircuit is an unparseable qc circuit or one whose
+	// width does not match the session register.
+	CodeErrBadCircuit Code = "ERR_BAD_CIRCUIT"
+	// CodeErrUnsupported is an operation the session's engine cannot
+	// perform (suspending an MPS-routed session, sampling a session
+	// that has never run, ...).
+	CodeErrUnsupported Code = "ERR_UNSUPPORTED"
+	// CodeErrCancelled reports a job stopped by client disconnect or
+	// explicit cancellation; the completed gate prefix is kept.
+	CodeErrCancelled Code = "ERR_CANCELLED"
+	// CodeErrInternal is an unexpected engine or I/O failure.
+	CodeErrInternal Code = "ERR_INTERNAL"
+	// CodeErrShuttingDown reports a server draining for shutdown; no
+	// new work is accepted.
+	CodeErrShuttingDown Code = "ERR_SHUTTING_DOWN"
+)
+
+// HTTPStatus maps a code onto the HTTP status the response rides on.
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeOK, CodeAdmitCompressed, CodeAdmitMPS, CodeAdmitSpill:
+		return http.StatusOK
+	case CodeRejectBudget:
+		return http.StatusForbidden
+	case CodeRejectRate, CodeRejectQueueFull:
+		return http.StatusTooManyRequests
+	case CodeErrUnknownTenant, CodeErrNoSession:
+		return http.StatusNotFound
+	case CodeErrBadRequest, CodeErrBadCircuit:
+		return http.StatusBadRequest
+	case CodeErrUnsupported:
+		return http.StatusUnprocessableEntity
+	case CodeErrCancelled:
+		return http.StatusConflict
+	case CodeErrShuttingDown:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Admitted reports whether the code admits work (ADMIT_* or OK).
+func (c Code) Admitted() bool {
+	switch c {
+	case CodeOK, CodeAdmitCompressed, CodeAdmitMPS, CodeAdmitSpill:
+		return true
+	}
+	return false
+}
+
+// CreateSessionRequest opens a session handle for a tenant. The
+// backend is NOT chosen here — the admission controller routes the
+// first submitted circuit, so a session costs nothing until a job is
+// admitted.
+type CreateSessionRequest struct {
+	// Tenant names a configured tenant; every budget and rate decision
+	// charges it.
+	Tenant string `json:"tenant"`
+	// Qubits is the session's register width (1..62).
+	Qubits int `json:"qubits"`
+	// Seed drives every random stream of the session's simulator
+	// (measurement collapse, sampling), making runs reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// BondDim overrides the MPS bond-dimension cap χ used both for
+	// admission routing and, on the mps route, the engine itself.
+	// 0 means the server default.
+	BondDim int `json:"bond_dim,omitempty"`
+	// BlockAmps overrides the compressed engine's block size
+	// (power of two). 0 means the engine default.
+	BlockAmps int `json:"block_amps,omitempty"`
+}
+
+// SessionInfo is the inspectable state of a session.
+type SessionInfo struct {
+	Code      Code   `json:"code"`
+	Error     string `json:"error,omitempty"`
+	SessionID string `json:"session_id,omitempty"`
+	Tenant    string `json:"tenant,omitempty"`
+	Qubits    int    `json:"qubits,omitempty"`
+	// Backend is the routed engine ("" until the first job is
+	// admitted).
+	Backend string `json:"backend,omitempty"`
+	// Suspended reports the session is checkpointed on disk, costing
+	// no RAM; the next job or sample resumes it transparently.
+	Suspended bool `json:"suspended"`
+	// ReservedBytes is what the session currently holds against the
+	// budget ledger (0 while suspended).
+	ReservedBytes int64 `json:"reserved_bytes"`
+	// GatesRun, Fidelity, and Footprint mirror the simulator's
+	// cumulative accounting (zero until first build; preserved across
+	// suspend/resume).
+	GatesRun  int     `json:"gates_run"`
+	Fidelity  float64 `json:"fidelity,omitempty"`
+	Footprint int64   `json:"footprint,omitempty"`
+	Suspends  int64   `json:"suspends"`
+	Resumes   int64   `json:"resumes"`
+}
+
+// SubmitRequest submits one circuit to a session's job queue.
+type SubmitRequest struct {
+	// Circuit is the qc-format circuit text.
+	Circuit string `json:"circuit"`
+}
+
+// Admission is the controller's pricing decision, echoed to the
+// client so a rejection explains itself.
+type Admission struct {
+	Code Code `json:"code"`
+	// Backend is the routed engine on admission.
+	Backend string `json:"backend,omitempty"`
+	// EstBondDim is the structural bond-dimension bound of the
+	// circuit.
+	EstBondDim int `json:"est_bond_dim,omitempty"`
+	// PricedBytes is what admission charged (or tried to charge)
+	// against the tenant budget: MPS tensor bytes, the dense worst
+	// case, or the spill-resident cap.
+	PricedBytes int64 `json:"priced_bytes,omitempty"`
+	// Reason explains a rejection in words.
+	Reason string `json:"reason,omitempty"`
+}
+
+// JobEvent is one server-sent event of a job stream. Type "progress"
+// events carry Gate/Total/Name; the terminal event is "done" (with
+// Result) or "error" (with Code/Error).
+type JobEvent struct {
+	Type  string     `json:"type"`
+	JobID string     `json:"job_id,omitempty"`
+	Gate  int        `json:"gate,omitempty"`
+	Total int        `json:"total,omitempty"`
+	Name  string     `json:"name,omitempty"`
+	Code  Code       `json:"code,omitempty"`
+	Error string     `json:"error,omitempty"`
+	Admit *Admission `json:"admission,omitempty"`
+	Res   *JobResult `json:"result,omitempty"`
+}
+
+// JobResult summarizes a completed run.
+type JobResult struct {
+	Gates        int     `json:"gates"`
+	Measurements []int   `json:"measurements,omitempty"`
+	Fidelity     float64 `json:"fidelity"`
+	Footprint    int64   `json:"footprint"`
+	Backend      string  `json:"backend"`
+}
+
+// SampleRequest draws shots from the session's current state.
+type SampleRequest struct {
+	Shots int `json:"shots"`
+}
+
+// SampleResponse carries the drawn outcomes as decimal strings
+// (uint64 outcomes on registers past 53 qubits would lose precision
+// as JSON numbers).
+type SampleResponse struct {
+	Code     Code     `json:"code"`
+	Error    string   `json:"error,omitempty"`
+	Outcomes []string `json:"outcomes,omitempty"`
+}
+
+// StatusResponse is the generic code-plus-message envelope
+// (suspend, delete, rejections outside a job stream).
+type StatusResponse struct {
+	Code      Code       `json:"code"`
+	Error     string     `json:"error,omitempty"`
+	SessionID string     `json:"session_id,omitempty"`
+	Admit     *Admission `json:"admission,omitempty"`
+}

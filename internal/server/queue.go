@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"qcsim"
+	"qcsim/circuit"
+)
+
+// job is one admitted circuit waiting in the bounded queue. Its events
+// channel is the SSE stream: progress events are sent best-effort (a
+// slow consumer drops progress rather than stalling the engine), the
+// terminal "done"/"error" event is delivered reliably, and the worker
+// closes the channel when the job is finished.
+type job struct {
+	id   string
+	sess *Session
+	circ *circuit.Circuit
+	// ctx is derived from the client request: disconnecting cancels the
+	// run at the next sweep boundary, keeping the completed prefix.
+	ctx    context.Context
+	events chan JobEvent
+}
+
+// enqueue offers a job to the bounded queue without blocking. The
+// drain lock makes the draining check and the channel send atomic
+// against Shutdown closing the queue.
+func (srv *Server) enqueue(j *job) Code {
+	srv.drainMu.RLock()
+	defer srv.drainMu.RUnlock()
+	if srv.draining {
+		return CodeErrShuttingDown
+	}
+	select {
+	case srv.jobs <- j:
+		return CodeOK
+	default:
+		return CodeRejectQueueFull
+	}
+}
+
+// worker drains the job queue until Shutdown closes it.
+func (srv *Server) worker() {
+	defer srv.wg.Done()
+	for j := range srv.jobs {
+		srv.runJob(j)
+	}
+}
+
+// terminal delivers a job's final event. It must not be dropped like
+// progress events, but it also must not block forever on a consumer
+// that disconnected — the job's own context is the escape hatch.
+func (j *job) terminal(ev JobEvent) {
+	select {
+	case j.events <- ev:
+	case <-j.ctx.Done():
+		// Consumer gone; one more non-blocking attempt in case the
+		// drain raced the cancel, then give up.
+		select {
+		case j.events <- ev:
+		default:
+		}
+	}
+}
+
+// runJob executes one job against its session: make the engine
+// resident (building or resuming as needed), stream RunProgress events,
+// send the terminal event. The session lock is held for the whole run,
+// serializing jobs, samples, and suspends on one simulator.
+func (srv *Server) runJob(j *job) {
+	defer close(j.events)
+	s := j.sess
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if err := j.ctx.Err(); err != nil {
+		srv.metrics.JobsCancelled.Add(1)
+		j.terminal(JobEvent{Type: "error", JobID: j.id, Code: CodeErrCancelled, Error: "cancelled before start"})
+		return
+	}
+	if err := s.ensureResident(srv.ledger, srv.spillDir, &srv.metrics); err != nil {
+		code := CodeErrInternal
+		switch {
+		case errors.Is(err, ErrTenantBudget), errors.Is(err, ErrGlobalBudget):
+			code = CodeRejectBudget
+			srv.metrics.RejectBudget.Add(1)
+		case errors.Is(err, errSessionClosed):
+			code = CodeErrNoSession
+		}
+		srv.metrics.JobsFailed.Add(1)
+		j.terminal(JobEvent{Type: "error", JobID: j.id, Code: code, Error: err.Error()})
+		return
+	}
+	if s.sim == nil {
+		srv.metrics.JobsFailed.Add(1)
+		j.terminal(JobEvent{Type: "error", JobID: j.id, Code: CodeErrInternal, Error: "session has no engine (admission was released)"})
+		return
+	}
+	s.touch()
+
+	res, err := s.sim.RunProgress(j.ctx, j.circ, func(ev qcsim.ProgressEvent) {
+		select {
+		case j.events <- JobEvent{Type: "progress", JobID: j.id, Gate: ev.Gate, Total: ev.Total, Name: ev.Name}:
+		default:
+		}
+	})
+	s.touch()
+	if err != nil {
+		code := CodeErrInternal
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			code = CodeErrCancelled
+			srv.metrics.JobsCancelled.Add(1)
+		} else {
+			srv.metrics.JobsFailed.Add(1)
+		}
+		j.terminal(JobEvent{Type: "error", JobID: j.id, Code: code, Error: err.Error()})
+		return
+	}
+	srv.metrics.JobsDone.Add(1)
+	j.terminal(JobEvent{Type: "done", JobID: j.id, Code: CodeOK, Res: &JobResult{
+		Gates:        res.Gates,
+		Measurements: res.Measurements,
+		Fidelity:     res.FidelityLowerBound,
+		Footprint:    res.Footprint,
+		Backend:      s.sim.Backend(),
+	}})
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentSessionsStress hammers one server with several tenants
+// doing overlapping submit/sample/suspend/resume/cancel traffic. Run
+// under -race (CI does) it is the data-race detector for the whole
+// serving stack: ledger, queue, workers, janitor, and the per-session
+// locking. Every response must be a typed code — never a hang, panic,
+// or malformed reply — and the ledger must balance to zero after the
+// sessions close.
+func TestConcurrentSessionsStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short")
+	}
+	srv, err := New(Config{
+		Tenants: []TenantConfig{
+			{Name: "t0", MemoryBudget: 1 << 20},
+			{Name: "t1", MemoryBudget: 1 << 20},
+			{Name: "t2", MemoryBudget: 1 << 20},
+			{Name: "t3", MemoryBudget: 1 << 20},
+		},
+		GlobalBudget: 4 << 20,
+		QueueDepth:   64,
+		Workers:      4,
+		IdleSuspend:  40 * time.Millisecond, // keep the janitor racing too
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := newClient(t, ts)
+
+	const perTenant = 3
+	const iters = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*perTenant)
+	for tn := 0; tn < 4; tn++ {
+		for g := 0; g < perTenant; g++ {
+			wg.Add(1)
+			go func(tenant string, g int) {
+				defer wg.Done()
+				sess := c.createSession(tenant, 8, int64(g+1))
+				circ := compressedCircuit(8, int64(g+1))
+				for i := 0; i < iters; i++ {
+					status, evs, st := c.submit(sess.SessionID, circ)
+					switch {
+					case st != nil:
+						// Typed backpressure is legal under load.
+						if st.Code != CodeRejectQueueFull && st.Code != CodeRejectRate {
+							errs <- fmt.Errorf("%s/%d: unexpected rejection %d %+v", tenant, g, status, st)
+							return
+						}
+					case len(evs) == 0 || evs[len(evs)-1].Type != "done":
+						errs <- fmt.Errorf("%s/%d: no terminal done event: %+v", tenant, g, evs)
+						return
+					}
+					if _, resp := c.sample(sess.SessionID, 4); resp.Code != CodeOK && resp.Code != CodeRejectBudget {
+						errs <- fmt.Errorf("%s/%d: sample: %+v", tenant, g, resp)
+						return
+					}
+					if st := c.suspend(sess.SessionID); st.Code != CodeOK {
+						errs <- fmt.Errorf("%s/%d: suspend: %+v", tenant, g, st)
+						return
+					}
+					// Resume transparently by sampling again.
+					if _, resp := c.sample(sess.SessionID, 2); resp.Code != CodeOK && resp.Code != CodeRejectBudget {
+						errs <- fmt.Errorf("%s/%d: resume sample: %+v", tenant, g, resp)
+						return
+					}
+				}
+				// A mid-stream client cancel must not wedge anything:
+				// fire a submit and abandon the SSE stream immediately.
+				body, _ := json.Marshal(SubmitRequest{Circuit: circuitText(t, circ)})
+				ctx, cancel := context.WithCancel(context.Background())
+				req, _ := http.NewRequestWithContext(ctx, "POST",
+					c.base+"/v1/sessions/"+sess.SessionID+"/jobs", bytes.NewReader(body))
+				resp, err := c.hc.Do(req)
+				if err == nil {
+					resp.Body.Close()
+				}
+				cancel()
+				// Close the session; the ledger must get its bytes back.
+				req2, _ := http.NewRequest("DELETE", c.base+"/v1/sessions/"+sess.SessionID, nil)
+				if resp2, err := c.hc.Do(req2); err == nil {
+					resp2.Body.Close()
+				}
+			}(fmt.Sprintf("t%d", tn), g)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	shutdownOK(t, srv)
+	if used := srv.Ledger().TotalUsed(); used != 0 {
+		t.Fatalf("ledger must balance to zero after shutdown, holds %d", used)
+	}
+}

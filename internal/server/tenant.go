@@ -1,0 +1,82 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// TenantConfig declares one tenant: the RAM allowance its sessions
+// may hold resident (the admission controller prices jobs against it)
+// and a token-bucket rate limit on job submissions.
+type TenantConfig struct {
+	// Name identifies the tenant in requests and metrics.
+	Name string
+	// MemoryBudget caps the tenant's total reserved resident bytes
+	// across all its sessions. 0 = unlimited (bounded only by the
+	// server's global budget).
+	MemoryBudget int64
+	// RatePerSec refills the tenant's submission token bucket. 0 =
+	// unlimited (no rate limiting).
+	RatePerSec float64
+	// Burst is the bucket depth — how many submissions may land
+	// back-to-back before the refill rate governs. Defaults to 1 when
+	// RatePerSec > 0 and Burst == 0.
+	Burst int
+}
+
+// tokenBucket is a classic token-bucket rate limiter: capacity Burst,
+// refilled continuously at RatePerSec. A zero rate always allows.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	tb := &tokenBucket{rate: rate, burst: float64(burst), now: time.Now}
+	tb.tokens = tb.burst
+	return tb
+}
+
+// allow consumes one token if available.
+func (tb *tokenBucket) allow() bool {
+	if tb == nil || tb.rate <= 0 {
+		return true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	if !tb.last.IsZero() {
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// tenant is the runtime state behind a TenantConfig.
+type tenant struct {
+	cfg    TenantConfig
+	bucket *tokenBucket
+}
+
+func newTenant(cfg TenantConfig) *tenant {
+	var tb *tokenBucket
+	if cfg.RatePerSec > 0 {
+		tb = newTokenBucket(cfg.RatePerSec, cfg.Burst)
+	}
+	return &tenant{cfg: cfg, bucket: tb}
+}

@@ -41,6 +41,9 @@ type Simulator struct {
 	// sampleCache is the decompressed-block LRU size samplers built from
 	// this simulator use (WithSampleCache).
 	sampleCache int
+	// closed latches after Close: every error-returning method reports
+	// ErrClosed instead of touching the torn-down engine.
+	closed bool
 }
 
 // New builds a simulator for the given register width, initialized to
@@ -210,7 +213,21 @@ func (s *Simulator) RunProgress(ctx context.Context, c *circuit.Circuit, fn func
 	return s.run(ctx, c, fn)
 }
 
+// closedErr is the guard every error-returning method calls first: a
+// Simulator that has been Closed refuses all further work with the
+// typed ErrClosed instead of exhibiting undefined behavior on the
+// torn-down engine (spill files removed, stores closed).
+func (s *Simulator) closedErr() error {
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
 func (s *Simulator) run(ctx context.Context, c *circuit.Circuit, fn func(ProgressEvent)) (*Result, error) {
+	if err := s.closedErr(); err != nil {
+		return nil, err
+	}
 	if c == nil {
 		return nil, fmt.Errorf("%w: nil circuit", ErrBadConfig)
 	}
@@ -239,6 +256,14 @@ func (s *Simulator) run(ctx context.Context, c *circuit.Circuit, fn func(Progres
 	}
 	if fn != nil {
 		ctl.OnGate = func(gi, total int, g circuit.Gate) {
+			// A cancelled context means the client is gone: the engine
+			// still finishes the sweep in flight (it stops at the next
+			// sweep boundary), but no more progress events are
+			// delivered — a disconnected RunProgress consumer must not
+			// keep receiving callbacks for the trailing gates.
+			if ctx.Err() != nil {
+				return
+			}
 			fn(ProgressEvent{Gate: gi, Total: total, Name: g.Name, Target: g.Target})
 		}
 	}
@@ -303,10 +328,15 @@ func (s *Simulator) Qubits() int { return s.qubits }
 
 // Close releases engine resources: with WithSpill active it removes
 // the per-rank spill files (failures wrap ErrSpill); otherwise it is
-// a no-op. The simulator must not be used after Close. Safe to call
-// more than once, and safe on an auto simulator whose decision never
-// closed.
+// a no-op. After Close every error-returning method reports ErrClosed
+// — the handle is dead, never undefined. Safe to call more than once
+// (later calls are no-ops returning nil), and safe on an auto
+// simulator whose decision never closed.
 func (s *Simulator) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	if s.be == nil {
 		return nil
 	}
@@ -316,6 +346,9 @@ func (s *Simulator) Close() error {
 // Reset reinitializes the state to |0...0⟩ and the fidelity ledger to
 // 1, keeping the configuration.
 func (s *Simulator) Reset() error {
+	if err := s.closedErr(); err != nil {
+		return err
+	}
 	if s.pending != nil {
 		s.pending.basis = 0
 	}
@@ -324,6 +357,9 @@ func (s *Simulator) Reset() error {
 
 // SetBasisState reinitializes the state to |idx⟩.
 func (s *Simulator) SetBasisState(idx uint64) error {
+	if err := s.closedErr(); err != nil {
+		return err
+	}
 	if idx >= 1<<uint(s.qubits) {
 		return fmt.Errorf("%w: basis state %d on a %d-qubit register", ErrInvalidQubit, idx, s.qubits)
 	}
@@ -344,6 +380,9 @@ func (s *Simulator) checkQubit(q int) error {
 
 // Amplitude returns ⟨idx|ψ⟩, decompressing only the containing block.
 func (s *Simulator) Amplitude(idx uint64) (complex128, error) {
+	if err := s.closedErr(); err != nil {
+		return 0, err
+	}
 	if idx >= 1<<uint(s.qubits) {
 		return 0, fmt.Errorf("%w: amplitude index %d on a %d-qubit register", ErrInvalidQubit, idx, s.qubits)
 	}
@@ -359,6 +398,9 @@ var maxFullStateQubits = 26
 // FullState decompresses and returns the whole state vector. Registers
 // wider than 26 qubits report ErrStateTooLarge.
 func (s *Simulator) FullState() ([]complex128, error) {
+	if err := s.closedErr(); err != nil {
+		return nil, err
+	}
 	if s.qubits > maxFullStateQubits {
 		return nil, fmt.Errorf("%w: %d qubits would allocate %s", ErrStateTooLarge,
 			s.qubits, FormatBytes(MemoryRequirement(s.qubits)))
@@ -368,10 +410,18 @@ func (s *Simulator) FullState() ([]complex128, error) {
 
 // Norm returns Σ|aᵢ|² across the full compressed state (1 up to
 // compression error).
-func (s *Simulator) Norm() (float64, error) { return s.b().Norm() }
+func (s *Simulator) Norm() (float64, error) {
+	if err := s.closedErr(); err != nil {
+		return 0, err
+	}
+	return s.b().Norm()
+}
 
 // ProbabilityOne returns P(qubit q = 1) without collapsing the state.
 func (s *Simulator) ProbabilityOne(q int) (float64, error) {
+	if err := s.closedErr(); err != nil {
+		return 0, err
+	}
 	if err := s.checkQubit(q); err != nil {
 		return 0, err
 	}
@@ -380,6 +430,9 @@ func (s *Simulator) ProbabilityOne(q int) (float64, error) {
 
 // ExpectationZ returns ⟨Z_q⟩ = P(q=0) - P(q=1).
 func (s *Simulator) ExpectationZ(q int) (float64, error) {
+	if err := s.closedErr(); err != nil {
+		return 0, err
+	}
 	if err := s.checkQubit(q); err != nil {
 		return 0, err
 	}
@@ -388,6 +441,9 @@ func (s *Simulator) ExpectationZ(q int) (float64, error) {
 
 // ExpectationZZ returns the two-point correlator ⟨Z_a Z_b⟩.
 func (s *Simulator) ExpectationZZ(a, b int) (float64, error) {
+	if err := s.closedErr(); err != nil {
+		return 0, err
+	}
 	if err := s.checkQubit(a); err != nil {
 		return 0, err
 	}
@@ -400,6 +456,9 @@ func (s *Simulator) ExpectationZZ(a, b int) (float64, error) {
 // MaxCutEnergy returns the expected cut value Σ_edges (1 - ⟨Z_u Z_v⟩)/2
 // of the current state — the QAOA objective over the given graph.
 func (s *Simulator) MaxCutEnergy(edges []circuit.Edge) (float64, error) {
+	if err := s.closedErr(); err != nil {
+		return 0, err
+	}
 	cut := make([]core.CutEdge, len(edges))
 	for i, e := range edges {
 		if err := s.checkQubit(e.U); err != nil {
@@ -417,6 +476,9 @@ func (s *Simulator) MaxCutEnergy(edges []circuit.Edge) (float64, error) {
 // least 1-tol — the statistical-assertion debugging workflow the paper
 // motivates.
 func (s *Simulator) AssertClassical(q, value int, tol float64) error {
+	if err := s.closedErr(); err != nil {
+		return err
+	}
 	if err := s.checkQubit(q); err != nil {
 		return err
 	}
@@ -430,6 +492,9 @@ func (s *Simulator) AssertClassical(q, value int, tol float64) error {
 // AssertSuperposition checks that qubit q is in an approximately
 // uniform superposition: P(1) within tol of 1/2.
 func (s *Simulator) AssertSuperposition(q int, tol float64) error {
+	if err := s.closedErr(); err != nil {
+		return err
+	}
 	if err := s.checkQubit(q); err != nil {
 		return err
 	}
@@ -444,6 +509,9 @@ func (s *Simulator) AssertSuperposition(q int, tol float64) error {
 // unentangled in the computational basis (total-variation distance of
 // the joint distribution from the product of marginals ≤ tol).
 func (s *Simulator) AssertProduct(a, b int, tol float64) error {
+	if err := s.closedErr(); err != nil {
+		return err
+	}
 	if err := s.checkQubit(a); err != nil {
 		return err
 	}
@@ -504,6 +572,9 @@ type Sampler struct {
 // shot-based readout works on registers far past what FullState can
 // allocate.
 func (s *Simulator) Sampler() (*Sampler, error) {
+	if err := s.closedErr(); err != nil {
+		return nil, err
+	}
 	sp, err := s.b().NewSampler(s.sampleCache)
 	if err != nil {
 		return nil, err
@@ -567,6 +638,9 @@ func (s *Simulator) BytesMoved() int64 { return s.b().BytesMoved() }
 // simulator, needing a checkpoint closes the decision on the
 // compressed engine.
 func (s *Simulator) Save(w io.Writer) error {
+	if err := s.closedErr(); err != nil {
+		return err
+	}
 	be, err := s.compressedOnly()
 	if err != nil {
 		return err
@@ -582,6 +656,9 @@ func (s *Simulator) Save(w io.Writer) error {
 // compressed-engine state, so Load closes the decision on the
 // compressed engine (the -resume-before-Run CLI workflow).
 func (s *Simulator) Load(r io.Reader) error {
+	if err := s.closedErr(); err != nil {
+		return err
+	}
 	be, err := s.compressedOnly()
 	if err != nil {
 		return err
