@@ -34,7 +34,7 @@ func IDs() []string { return harness.IDs() }
 // ExportCSV writes every figure's data as CSV files into dir.
 func ExportCSV(dir string, opt Options) error { return harness.ExportCSV(dir, opt) }
 
-// Snapshot bundles one run of the structured experiments (sweep,
+// Snapshot bundles one run of the structured experiments (sweep, batch,
 // sampling, crossover, spill) for a committed BENCH_N.json baseline.
 type Snapshot = harness.BenchSnapshot
 
@@ -43,6 +43,15 @@ type SpillRow = harness.SpillRow
 
 // SpillResults runs the spill experiment and returns its rows.
 func SpillResults(opt Options) ([]SpillRow, error) { return harness.SpillResults(opt) }
+
+// BatchRow is one workload of the variant-batching experiment: a
+// lockstep parameter-shift batch vs the same K circuits run
+// sequentially.
+type BatchRow = harness.BatchRow
+
+// BatchResults runs the variant-batching experiment and returns its
+// rows.
+func BatchResults(opt Options) ([]BatchRow, error) { return harness.BatchResults(opt) }
 
 // WriteJSONFile writes a Snapshot of the structured experiments at the
 // given scale to path, indented.

@@ -145,6 +145,51 @@ func RandomRegularGraph(n, d int, seed int64) []Edge {
 	return quantum.RandomRegularGraph(n, d, seed)
 }
 
+// Parameterized circuits (variational workloads).
+
+// Param is a symbolic gate angle θ = Scale·values[Index] + Shift,
+// resolved by Circuit.Bind. Build one with P and the Times/Plus
+// combinators, attach it with the PRX/PRY/PRZ/PPhase builder methods.
+type Param = quantum.Param
+
+// ParamOccurrence locates one parametric gate in a circuit — the unit
+// the parameter-shift rule differentiates (a parameter reused by many
+// gates has many occurrences).
+type ParamOccurrence = quantum.ParamOccurrence
+
+// P returns the parameter reference θ = values[i].
+func P(i int) Param { return quantum.P(i) }
+
+// QAOAAnsatz builds the p-round MAXCUT QAOA ansatz on the same seeded
+// random 4-regular graph as QAOA(n, p, seed) with symbolic angles:
+// parameter 2r is round r's γ, parameter 2r+1 its β. Binding it at
+// QAOAAngles(p, seed) reproduces QAOA(n, p, seed) gate for gate.
+func QAOAAnsatz(n, p int, seed int64) *Circuit { return quantum.QAOAAnsatz(n, p, seed) }
+
+// QAOAAnsatzGraph builds the p-round MAXCUT QAOA ansatz over an
+// explicit edge list.
+func QAOAAnsatzGraph(n, p int, edges []Edge) *Circuit {
+	return quantum.QAOAAnsatzGraph(n, p, edges)
+}
+
+// QAOAAngles returns the angle vector [γ_0, β_0, γ_1, β_1, ...] the
+// fixed QAOA generator draws from seed.
+func QAOAAngles(p int, seed int64) []float64 { return quantum.QAOAAngles(p, seed) }
+
+// VQEAnsatz builds a hardware-efficient VQE ansatz: `layers` rounds of
+// parametric RY rotations plus CZ entangler chains, closed by a final
+// RY layer ((layers+1)·n parameters).
+func VQEAnsatz(n, layers int) *Circuit { return quantum.VQEAnsatz(n, layers) }
+
+// ShapeSignature fingerprints a circuit's structure — gate kinds,
+// targets, and controls, ignoring angles and matrix entries — so all
+// bindings of one ansatz share one signature. qcsim.RunBatch requires
+// every binding in a batch to share the base circuit's shape.
+func ShapeSignature(c *Circuit) string { return quantum.ShapeSignature(c) }
+
+// SameShape reports whether two circuits share a shape signature.
+func SameShape(a, b *Circuit) bool { return quantum.SameShape(a, b) }
+
 // Textbook algorithms.
 
 // PhaseEstimation builds phase estimation of U = diag(1, e^{2πiφ}) with

@@ -1,0 +1,109 @@
+package circuit_test
+
+import (
+	"strings"
+	"testing"
+
+	"qcsim/circuit"
+)
+
+// serialize renders a circuit in the .qc text format, the package's
+// canonical gate-for-gate comparison form.
+func serialize(t *testing.T, c *circuit.Circuit) string {
+	t.Helper()
+	var b strings.Builder
+	if err := circuit.Serialize(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestQAOAAnsatzBindReproducesFixedQAOA(t *testing.T) {
+	cases := []struct {
+		n, p int
+		seed int64
+	}{
+		{6, 1, 1},
+		{8, 2, 7},
+		{10, 3, 2020},
+	}
+	for _, tc := range cases {
+		ansatz := circuit.QAOAAnsatz(tc.n, tc.p, tc.seed)
+		if got, want := ansatz.NumParams(), 2*tc.p; got != want {
+			t.Errorf("QAOAAnsatz(%d,%d) NumParams = %d, want %d", tc.n, tc.p, got, want)
+		}
+		bound, err := ansatz.Bind(circuit.QAOAAngles(tc.p, tc.seed))
+		if err != nil {
+			t.Fatalf("Bind: %v", err)
+		}
+		fixed := circuit.QAOA(tc.n, tc.p, tc.seed)
+		if got, want := serialize(t, bound), serialize(t, fixed); got != want {
+			t.Errorf("QAOAAnsatz(%d,%d,%d) bound at QAOAAngles differs from QAOA:\n%s\nvs\n%s",
+				tc.n, tc.p, tc.seed, got, want)
+		}
+	}
+}
+
+func TestQAOAAnsatzGraphMatchesSeededGraph(t *testing.T) {
+	const n, p = 8, 2
+	const seed = 11
+	edges := circuit.RandomRegularGraph(n, 4, seed)
+	if len(edges) != n*4/2 {
+		t.Fatalf("RandomRegularGraph(%d, 4): %d edges, want %d", n, len(edges), n*4/2)
+	}
+	explicit := circuit.QAOAAnsatzGraph(n, p, edges)
+	seeded := circuit.QAOAAnsatz(n, p, seed)
+	if !circuit.SameShape(explicit, seeded) {
+		t.Error("ansatz over the seeded graph's own edge list must share the seeded ansatz's shape")
+	}
+}
+
+func TestVQEAnsatzParamCount(t *testing.T) {
+	cases := []struct {
+		n, layers, want int
+	}{
+		{4, 1, 8},
+		{6, 2, 18},
+		{10, 3, 40},
+	}
+	for _, tc := range cases {
+		a := circuit.VQEAnsatz(tc.n, tc.layers)
+		if got := a.NumParams(); got != tc.want {
+			t.Errorf("VQEAnsatz(%d,%d) NumParams = %d, want %d", tc.n, tc.layers, got, tc.want)
+		}
+	}
+}
+
+func TestShapeStableAcrossBindings(t *testing.T) {
+	ansatz := circuit.QAOAAnsatz(8, 2, 3)
+	angles := []struct{ vals []float64 }{
+		{circuit.QAOAAngles(2, 3)},
+		{[]float64{0.1, 0.2, 0.3, 0.4}},
+		{[]float64{1.5, -0.7, 0.0, 2.2}},
+	}
+	var sig string
+	for i, a := range angles {
+		bound, err := ansatz.Bind(a.vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !circuit.SameShape(ansatz, bound) {
+			t.Fatalf("binding %d changed the shape", i)
+		}
+		if s := circuit.ShapeSignature(bound); sig == "" {
+			sig = s
+		} else if s != sig {
+			t.Fatalf("binding %d has signature %q, want %q", i, s, sig)
+		}
+	}
+	if other := circuit.VQEAnsatz(8, 2); circuit.SameShape(ansatz, other) {
+		t.Error("QAOA and VQE ansatz must not share a shape signature")
+	}
+}
+
+func TestBindRejectsShortVector(t *testing.T) {
+	ansatz := circuit.QAOAAnsatz(6, 2, 1) // 4 params
+	if _, err := ansatz.Bind([]float64{0.1}); err == nil {
+		t.Error("Bind with too few values must fail")
+	}
+}

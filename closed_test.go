@@ -85,6 +85,19 @@ func TestClosedSimulatorReturnsErrClosed(t *testing.T) {
 		},
 		"Save": func() error { return sim.Save(io.Discard) },
 		"Load": func() error { return sim.Load(bytes.NewReader(ckpt.Bytes())) },
+		"RunBatch": func() error {
+			ansatz := circuit.VQEAnsatz(4, 1)
+			_, err := sim.RunBatch(context.Background(), ansatz,
+				[][]float64{make([]float64, ansatz.NumParams())})
+			return err
+		},
+		"Gradient": func() error {
+			ansatz := circuit.VQEAnsatz(4, 1)
+			_, err := sim.Gradient(context.Background(), ansatz,
+				make([]float64, ansatz.NumParams()),
+				MaxCutObservable([]circuit.Edge{{U: 0, V: 1}}))
+			return err
+		},
 	}
 	for name, call := range calls {
 		if err := call(); !errors.Is(err, ErrClosed) {

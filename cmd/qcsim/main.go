@@ -15,6 +15,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -52,12 +53,29 @@ func main() {
 		noise       = flag.Float64("noise", 0, "per-gate depolarizing probability")
 		fuse        = flag.Bool("fuse", false, "fuse adjacent single-qubit gates before execution")
 		sweeps      = flag.Bool("sweeps", true, "batch runs of block-local gates into one codec pass per block (off reproduces the paper's one-pass-per-gate cost model)")
+		batchK      = flag.Int("batch", 0, "run a K-variant lockstep batch of the parameterized ansatz (-circuit qaoa or vqe), one seeded binding per variant")
+		grad        = flag.Bool("grad", false, "compute the parameter-shift MAXCUT gradient of the QAOA ansatz (-circuit qaoa) in one lockstep batch")
 	)
 	flag.Parse()
 
+	variational := *grad || *batchK > 0
 	var cir *circuit.Circuit
 	var err error
-	if *file != "" {
+	if variational {
+		if *file != "" || *dump != "" {
+			fail(errors.New("-batch/-grad build their own parameterized ansatz; -file and -dump do not apply"))
+		}
+		switch {
+		case *circuitKind == "qaoa":
+			cir = circuit.QAOAAnsatz(*qubits, *rounds, *seed)
+		case *circuitKind == "vqe" && !*grad:
+			cir = circuit.VQEAnsatz(*qubits, *rounds)
+		case *grad:
+			fail(errors.New("-grad needs -circuit qaoa (the MAXCUT observable)"))
+		default:
+			fail(fmt.Errorf("-batch needs -circuit qaoa or vqe, not %q", *circuitKind))
+		}
+	} else if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
 			fail(err)
@@ -144,6 +162,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if variational {
+		runVariational(ctx, sim, cir, *circuitKind, *rounds, *seed, *batchK, *grad)
+		return
+	}
 	start := time.Now()
 	res, err := sim.Run(ctx, cir)
 	elapsed := time.Since(start)
@@ -247,6 +269,79 @@ func main() {
 		}
 		fmt.Printf("checkpoint written to %s\n", *checkpoint)
 	}
+}
+
+// runVariational drives the -batch / -grad modes: a K-variant lockstep
+// RunBatch of the ansatz at seeded bindings, or the parameter-shift
+// MAXCUT gradient (itself one lockstep batch of 1+2·occurrences
+// variants).
+func runVariational(ctx context.Context, sim *qcsim.Simulator, ansatz *circuit.Circuit,
+	kind string, rounds int, seed int64, k int, grad bool) {
+	edges := circuit.RandomRegularGraph(ansatz.N, 4, seed)
+	if grad {
+		values := circuit.QAOAAngles(rounds, seed)
+		start := time.Now()
+		res, err := sim.Gradient(ctx, ansatz, values, qcsim.MaxCutObservable(edges))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("parameter-shift gradient: %d evaluations in one lockstep batch, %v\n",
+			res.Evaluations, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("MAXCUT energy        %.6f\n", res.Energy)
+		for i, g := range res.Grad {
+			fmt.Printf("  ∂E/∂θ[%d]          %+.6f\n", i, g)
+		}
+		return
+	}
+
+	bindings := make([][]float64, k)
+	for v := range bindings {
+		bindings[v] = variantBinding(kind, ansatz, rounds, seed, v)
+	}
+	start := time.Now()
+	results, err := sim.RunBatch(ctx, ansatz, bindings)
+	elapsed := time.Since(start)
+	switch {
+	case err == nil:
+	case errors.Is(err, qcsim.ErrBudgetExceeded):
+		fmt.Printf("warning: %v\n", err)
+	default:
+		fail(err)
+	}
+	var codecCalls, shared int64
+	for _, r := range results {
+		codecCalls += r.Stats.CompressCalls + r.Stats.DecompressCalls
+		shared += r.Stats.CodecPassesShared
+	}
+	fmt.Printf("lockstep batch: %d variants × %d gates in %v\n",
+		k, results[0].Gates, elapsed.Round(time.Millisecond))
+	fmt.Printf("codec calls          %d total across the batch; %d passes served from the shared cache\n",
+		codecCalls, shared)
+	variants := sim.BatchVariants()
+	for v, r := range results {
+		line := fmt.Sprintf("variant %-2d           fidelity ≥ %.6f, footprint %s",
+			v, r.FidelityLowerBound, qcsim.FormatBytes(float64(r.Footprint)))
+		if kind == "qaoa" {
+			if e, err := variants[v].MaxCutEnergy(edges); err == nil {
+				line += fmt.Sprintf(", MAXCUT energy %.6f", e)
+			}
+		}
+		fmt.Println(line)
+	}
+}
+
+// variantBinding draws variant v's parameter vector: the seeded QAOA
+// angle schedule for the qaoa ansatz, uniform angles in [0, π) for vqe.
+func variantBinding(kind string, ansatz *circuit.Circuit, rounds int, seed int64, v int) []float64 {
+	if kind == "qaoa" {
+		return circuit.QAOAAngles(rounds, seed+int64(v))
+	}
+	rng := rand.New(rand.NewSource(seed + int64(v)))
+	values := make([]float64, ansatz.NumParams())
+	for i := range values {
+		values[i] = rng.Float64() * math.Pi
+	}
+	return values
 }
 
 func buildCircuit(kind string, qubits, depth, rounds int, seed int64) (*circuit.Circuit, error) {

@@ -127,6 +127,45 @@
 // Stats reports Sweeps, SweepGates, CodecPassesSaved, and the total
 // CompressCalls/DecompressCalls the run issued.
 //
+// # Variant batching
+//
+// Variational workloads run one circuit shape at many parameter
+// settings. Build a parameterized ansatz with the qcsim/circuit
+// package (P, PRX/PRY/PRZ/PPhase, QAOAAnsatz, VQEAnsatz), and execute
+// K bindings in one lockstep pass with RunBatch:
+//
+//	ansatz := circuit.QAOAAnsatz(16, 1, seed)
+//	results, err := sim.RunBatch(ctx, ansatz, bindings)
+//
+// The binding contract: every binding must supply the ansatz's
+// NumParams values, all bindings share the base circuit's shape
+// (circuit.SameShape), and variant v runs with seed
+// core.VariantSeed(base, v) — so results are bit-identical to K
+// sequential Runs of the bound circuits on fresh simulators carrying
+// those seeds. The batch runs on clones of the current state; the
+// parent simulator is never mutated, and the variant states stay
+// inspectable through BatchVariants until the next batch or Close.
+//
+// Internally the executor walks the sweep schedule block-index-first —
+// decompress each distinct blob once per pass, apply every variant's
+// gates, recompress each distinct result once — with a
+// content-addressed cache deduplicating codec work across undiverged
+// variants. Stats reports CodecPassesShared and VariantCount.
+//
+// What breaks lockstep: measurement gates and WithNoise interleave the
+// variants' random draws, so such batches fall back to sequential
+// per-variant execution (identical results, no sharing); shape or
+// width mismatches are typed errors before anything runs; and the mps
+// backend reports ErrUnsupportedOp — lockstep batching is
+// compressed-only.
+//
+// Gradient evaluates a parameter-shift gradient of a diagonal
+// observable (MaxCutObservable) as one lockstep batch — the base
+// binding plus ±π/2 shifts per parametric gate occurrence. For
+// admission planning, WithVariants(K) makes EstimateCircuit price the
+// K-variant worst case (UncompressedBytes ×K, pinned to the
+// compressed backend).
+//
 // # Memory tiers
 //
 // All block storage goes through one seam (the BlockStore interface in

@@ -42,7 +42,14 @@ type Estimate struct {
 	// BackendCompressed otherwise.
 	Backend string
 
-	// UncompressedBytes is the dense state size 2^(n+4) — the
+	// Variants is the batch width K the estimate covers (WithVariants;
+	// 1 for a solo run). A K-variant RunBatch holds K state copies, so
+	// UncompressedBytes below is already scaled by K, and K > 1 pins
+	// the job to the compressed backend — lockstep batching is
+	// compressed-only.
+	Variants int
+
+	// UncompressedBytes is the dense state size Variants·2^(n+4) — the
 	// compressed engine's worst-case footprint, and the working-set
 	// ceiling an admission budget must cover to be unconditionally
 	// safe. float64 because 60+-qubit registers overflow int64.
@@ -93,11 +100,12 @@ func EstimateCircuit(qubits int, c *circuit.Circuit, opts ...Option) (*Estimate,
 		Qubits:            qubits,
 		Gates:             len(c.Gates),
 		BondDim:           quantum.EstimateBondDim(c),
-		UncompressedBytes: core.MemoryRequirement(qubits),
+		Variants:          st.variants,
+		UncompressedBytes: float64(st.variants) * core.MemoryRequirement(qubits),
 		BlockBytes:        16 * int64(vcfg.BlockAmps),
 	}
 	ok, _ := quantum.MPSCompatible(c)
-	est.MPSRunnable = ok && noiseProb == 0 && !vcfg.Uncompressed
+	est.MPSRunnable = ok && noiseProb == 0 && !vcfg.Uncompressed && st.variants == 1
 	if est.MPSRunnable && est.BondDim <= chi {
 		est.Backend = BackendMPS
 	} else {

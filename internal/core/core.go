@@ -588,6 +588,9 @@ func (s *Simulator) RunControlled(c *quantum.Circuit, ctl RunControl) error {
 	if c.N != s.cfg.Qubits {
 		return fmt.Errorf("core: circuit has %d qubits, simulator %d", c.N, s.cfg.Qubits)
 	}
+	if c.Parametric() {
+		return fmt.Errorf("core: circuit has unbound parameters; Bind it first")
+	}
 	if s.cfg.FuseGates {
 		c = quantum.FuseSingleQubitGates(c)
 	}

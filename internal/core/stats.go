@@ -34,6 +34,16 @@ type Stats struct {
 	SweepGates       int
 	CodecPassesSaved int64
 
+	// Variant batching behaviour (RunBatch). CodecPassesShared counts
+	// per-block codec round trips a variant avoided because the batch
+	// memo had already produced the output for the same (op, level,
+	// compressed input) — sharing across variants whose blocks have not
+	// diverged, and across byte-identical blocks within one pass.
+	// VariantCount is the batch width K of the most recent batched run
+	// (0 when the state has only ever run solo).
+	CodecPassesShared int64
+	VariantCount      int
+
 	// Footprint accounting. CurrentFootprint is Σ len(compressed
 	// block) across both memory tiers; MaxFootprint is its high-water
 	// mark, from which the minimum compression ratio of Table 2
@@ -96,6 +106,10 @@ func (s Stats) Add(o Stats) Stats {
 		s.SweepGates = o.SweepGates
 	}
 	s.CodecPassesSaved += o.CodecPassesSaved
+	s.CodecPassesShared += o.CodecPassesShared
+	if o.VariantCount > s.VariantCount {
+		s.VariantCount = o.VariantCount
+	}
 	s.CurrentFootprint += o.CurrentFootprint
 	s.MaxFootprint += o.MaxFootprint
 	s.ResidentFootprint += o.ResidentFootprint
@@ -125,6 +139,7 @@ func (s *Stats) addShard(o Stats) {
 	s.CompressCalls += o.CompressCalls
 	s.DecompressCalls += o.DecompressCalls
 	s.CodecPassesSaved += o.CodecPassesSaved
+	s.CodecPassesShared += o.CodecPassesShared
 }
 
 // MinCompressionRatio returns uncompressed-state-bytes / peak-footprint,

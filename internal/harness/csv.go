@@ -223,6 +223,34 @@ func ExportCSV(dir string, opt Options) error {
 	}); err != nil {
 		return err
 	}
+	batch, err := BatchResults(opt)
+	if err != nil {
+		return err
+	}
+	if err := write("batch.csv", func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"benchmark", "qubits", "gates", "variants",
+			"codec_calls_solo", "codec_calls_batch", "per_variant_solo",
+			"per_variant_batch", "reduction", "passes_shared",
+			"elapsed_solo_seconds", "elapsed_batch_seconds"}); err != nil {
+			return err
+		}
+		for _, r := range batch {
+			rec := []string{r.Benchmark, strconv.Itoa(r.Qubits), strconv.Itoa(r.Gates),
+				strconv.Itoa(r.Variants),
+				strconv.FormatInt(r.CodecCallsSolo, 10), strconv.FormatInt(r.CodecCallsBatch, 10),
+				fmtF(r.PerVariantSolo), fmtF(r.PerVariantBatch),
+				fmtF(r.Reduction), strconv.FormatInt(r.PassesShared, 10),
+				fmtF(r.ElapsedSolo.Seconds()), fmtF(r.ElapsedBatch.Seconds())}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}); err != nil {
+		return err
+	}
 	sampling, err := SamplingResults(opt)
 	if err != nil {
 		return err

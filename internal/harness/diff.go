@@ -109,6 +109,28 @@ func DiffSnapshots(old, fresh *BenchSnapshot, tol float64) ([]Regression, error)
 		add("sweep/"+name, "row", 1, 0, "tracked row missing from fresh snapshot")
 	}
 
+	batchOld := make(map[string]BatchRow, len(old.Batch))
+	for _, r := range old.Batch {
+		batchOld[r.Benchmark] = r
+	}
+	for _, n := range fresh.Batch {
+		o, ok := batchOld[n.Benchmark]
+		if !ok {
+			continue
+		}
+		delete(batchOld, n.Benchmark)
+		// The codec-call reduction is deterministic (single-worker batch
+		// experiment) — a drop means the batch cache shares less work.
+		higherBetter("batch/"+n.Benchmark, "reduction", o.Reduction, n.Reduction)
+		if n.Variants != o.Variants {
+			add("batch/"+n.Benchmark, "variants", float64(o.Variants), float64(n.Variants),
+				"batch width changed at the same scale")
+		}
+	}
+	for name := range batchOld {
+		add("batch/"+name, "row", 1, 0, "tracked row missing from fresh snapshot")
+	}
+
 	samplingOld := make(map[string]SamplingRow, len(old.Sampling))
 	for _, r := range old.Sampling {
 		samplingOld[r.Benchmark] = r

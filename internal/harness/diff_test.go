@@ -17,6 +17,7 @@ func baselineSnapshot() *BenchSnapshot {
 			Benchmark: "Grover-7q", Reduction: 100,
 			ElapsedOff: 10 * time.Second, ElapsedOn: time.Second,
 		}},
+		Batch:    []BatchRow{{Benchmark: "QAOA-10q", Variants: 9, Reduction: 7}},
 		Sampling: []SamplingRow{{Benchmark: "GHZ-11q", Speedup: 50, ScanTime: 10 * time.Second}},
 		Crossover: []CrossoverRow{{
 			Depth: 2, EstBond: 4, Auto: "mps",
@@ -49,6 +50,8 @@ func TestDiffSnapshotsCatchesRegressions(t *testing.T) {
 	old := baselineSnapshot()
 	fresh := baselineSnapshot()
 	fresh.Sweep[0].Reduction = 50                 // reduction halved
+	fresh.Batch[0].Reduction = 2                  // batch cache sharing collapsed
+	fresh.Batch[0].Variants = 5                   // batch width drifted
 	fresh.Sampling[0].Speedup = 10                // sampler speedup collapsed
 	fresh.Crossover[0].Auto = "compressed"        // routing flipped
 	fresh.Spill[0].SpillOverBudget = true         // spill tier broke
@@ -59,6 +62,8 @@ func TestDiffSnapshotsCatchesRegressions(t *testing.T) {
 	}
 	want := map[string]bool{
 		"sweep/Grover-7q|reduction":   false,
+		"batch/QAOA-10q|reduction":    false,
+		"batch/QAOA-10q|variants":     false,
 		"sampling/GHZ-11q|speedup":    false,
 		"crossover/depth-2|auto-pick": false,
 		"spill/QFT-10|over-budget":    false,

@@ -65,6 +65,10 @@ type Options struct {
 	// Backend restricts the crossover sweep to one engine ("mps" or
 	// "compressed"); anything else runs both sides of the comparison.
 	Backend string
+	// BatchShifts is how many trailing parameter occurrences the batch
+	// experiment shifts by ±π/2: the lockstep batch width is
+	// K = 1 + 2·BatchShifts.
+	BatchShifts int
 }
 
 // Default returns the committed experiment scale.
@@ -89,6 +93,7 @@ func Default() Options {
 		CrossoverQubits: 16,
 		CrossoverDepths: []int{1, 2, 4, 6, 8, 10, 12},
 		BondDim:         32,
+		BatchShifts:     12,
 	}
 }
 
@@ -114,6 +119,7 @@ func Small() Options {
 		CrossoverQubits: 10,
 		CrossoverDepths: []int{1, 2, 4, 6},
 		BondDim:         8,
+		BatchShifts:     4,
 	}
 }
 
@@ -142,6 +148,7 @@ func Experiments() []Experiment {
 		{"fig16", "Fig. 16: strong scaling of a Hadamard layer", runFig16},
 		{"fig16w", "Fig. 16b: intra-rank worker-pool scaling (paper: OpenMP threads per rank)", runFig16Workers},
 		{"sweep", "Sweep scheduler: codec passes per run of block-local gates (Grover, QAOA)", runSweep},
+		{"batch", "Variant batching: lockstep parameter-shift batch vs K sequential runs (QAOA, VQE)", runBatchExp},
 		{"sampling", "Sampling: streaming compressed-domain sampler vs full-vector scan (GHZ, QAOA)", runSampling},
 		{"spill", "Spill tier: out-of-core completion under a resident-memory budget (QFT, random)", runSpill},
 		{"crossover", "Crossover: compressed full-state vs MPS backend over entanglement depth (§2.2)", runCrossover},

@@ -284,6 +284,44 @@ func TestSweepShape(t *testing.T) {
 	}
 }
 
+// TestBatchShape: the variant-batching experiment is the PR's
+// acceptance measurement — the K-variant parameter-shift batch must
+// issue at least 2× fewer run-phase codec calls per variant than K
+// sequential runs on the QAOA workload (K ≥ 8 even at the small
+// scale), with coherent counters.
+func TestBatchShape(t *testing.T) {
+	opt := Small()
+	rows, err := BatchResults(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected QAOA and VQE rows, got %v", rows)
+	}
+	for _, r := range rows {
+		if r.Variants < 8 {
+			t.Errorf("%s: batch width %d below the K>=8 target", r.Benchmark, r.Variants)
+		}
+		if r.CodecCallsBatch >= r.CodecCallsSolo {
+			t.Errorf("%s: batching did not reduce codec calls (%d -> %d)",
+				r.Benchmark, r.CodecCallsSolo, r.CodecCallsBatch)
+		}
+		if r.PassesShared == 0 {
+			t.Errorf("%s: no codec passes shared: %+v", r.Benchmark, r)
+		}
+		if r.PerVariantBatch >= r.PerVariantSolo {
+			t.Errorf("%s: per-variant codec cost did not drop: %+v", r.Benchmark, r)
+		}
+	}
+	qaoa := rows[0]
+	if !strings.HasPrefix(qaoa.Benchmark, "QAOA") {
+		t.Fatalf("first row is not QAOA: %+v", qaoa)
+	}
+	if qaoa.Reduction < 2 {
+		t.Errorf("QAOA batch codec reduction %.2fx below the 2x acceptance target", qaoa.Reduction)
+	}
+}
+
 func TestTable2Shapes(t *testing.T) {
 	opt := Small()
 	rows, err := Table2Results(opt)

@@ -22,6 +22,7 @@ type BenchSnapshot struct {
 	Schema    int            `json:"schema"`
 	Options   Options        `json:"options"`
 	Sweep     []SweepRow     `json:"sweep"`
+	Batch     []BatchRow     `json:"batch"`
 	Sampling  []SamplingRow  `json:"sampling"`
 	Crossover []CrossoverRow `json:"crossover"`
 	Spill     []SpillRow     `json:"spill"`
@@ -30,6 +31,10 @@ type BenchSnapshot struct {
 // BuildSnapshot runs the snapshot experiments at the given scale.
 func BuildSnapshot(opt Options) (*BenchSnapshot, error) {
 	sweep, err := SweepResults(opt)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := BatchResults(opt)
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +54,7 @@ func BuildSnapshot(opt Options) (*BenchSnapshot, error) {
 		Schema:    SnapshotSchema,
 		Options:   opt,
 		Sweep:     sweep,
+		Batch:     batch,
 		Sampling:  sampling,
 		Crossover: crossover,
 		Spill:     spill,

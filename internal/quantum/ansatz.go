@@ -1,0 +1,80 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Parameterized ansatz builders for variational workloads. Unlike the
+// fixed-angle QAOA generator above, these leave the rotation angles
+// symbolic: one circuit shape, bound at many parameter settings by
+// Circuit.Bind, which is what RunBatch and the parameter-shift
+// gradient consume.
+
+// QAOAAnsatz builds the p-round MAXCUT QAOA ansatz on the same seeded
+// random 4-regular graph as QAOA(n, p, seed), with symbolic angles:
+// parameter 2r is round r's γ and parameter 2r+1 its β (NumParams =
+// 2p). Binding at QAOAAngles(p, seed) reproduces QAOA(n, p, seed)
+// gate for gate.
+func QAOAAnsatz(n, p int, seed int64) *Circuit {
+	return QAOAAnsatzGraph(n, p, RandomRegularGraph(n, 4, seed))
+}
+
+// QAOAAnsatzGraph builds the p-round MAXCUT QAOA ansatz over an
+// explicit edge list: H on every qubit, then per round r the cost layer
+// exp(-iγ_r Z_u Z_v) per edge (CNOT·RZ(2γ_r)·CNOT) and the mixer layer
+// RX(2β_r) per qubit, with γ_r = values[2r] and β_r = values[2r+1].
+func QAOAAnsatzGraph(n, p int, edges []Edge) *Circuit {
+	c := NewCircuit(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for round := 0; round < p; round++ {
+		gamma := P(2 * round).Times(2)
+		beta := P(2*round + 1).Times(2)
+		for _, e := range edges {
+			c.CNOT(e.U, e.V)
+			c.PRZ(e.V, gamma)
+			c.CNOT(e.U, e.V)
+		}
+		for q := 0; q < n; q++ {
+			c.PRX(q, beta)
+		}
+	}
+	return c
+}
+
+// QAOAAngles returns the angle vector the fixed QAOA(n, p, seed)
+// generator draws — [γ_0, β_0, γ_1, β_1, ...] — so
+// QAOAAnsatz(n, p, seed).Bind(QAOAAngles(p, seed)) equals
+// QAOA(n, p, seed).
+func QAOAAngles(p int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed + 1))
+	values := make([]float64, 2*p)
+	for round := 0; round < p; round++ {
+		values[2*round] = rng.Float64() * math.Pi
+		values[2*round+1] = rng.Float64() * math.Pi
+	}
+	return values
+}
+
+// VQEAnsatz builds a hardware-efficient VQE ansatz on n qubits:
+// `layers` repetitions of a parametric RY rotation on every qubit
+// followed by a CZ entangler chain, closed by one final RY layer.
+// Parameter l·n+q drives layer l's rotation on qubit q (NumParams =
+// (layers+1)·n).
+func VQEAnsatz(n, layers int) *Circuit {
+	c := NewCircuit(n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.PRY(q, P(l*n+q))
+		}
+		for q := 0; q+1 < n; q++ {
+			c.CZ(q, q+1)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.PRY(q, P(layers*n+q))
+	}
+	return c
+}

@@ -36,7 +36,7 @@ func FuseSingleQubitGates(c *Circuit) *Circuit {
 	}
 
 	for _, g := range c.Gates {
-		if g.Kind == KindUnitary && len(g.Controls) == 0 {
+		if g.Kind == KindUnitary && len(g.Controls) == 0 && g.Par == nil {
 			if u, ok := pending[g.Target]; ok {
 				pending[g.Target] = g.U.Mul(u)
 			} else {
@@ -45,9 +45,12 @@ func FuseSingleQubitGates(c *Circuit) *Circuit {
 			}
 			continue
 		}
-		// Controlled gates and measurements act as barriers on every
-		// qubit they touch. (Pending gates on other qubits commute
-		// with this gate and may stay pending.)
+		// Controlled gates, measurements, and unbound parametric
+		// gates (whose U is not yet known — and whose position must
+		// survive so every binding of the shape fuses identically)
+		// act as barriers on every qubit they touch. (Pending gates
+		// on other qubits commute with this gate and may stay
+		// pending.)
 		flush(g.Target)
 		for _, ctl := range g.Controls {
 			flush(ctl)

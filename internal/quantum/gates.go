@@ -109,12 +109,17 @@ const (
 // Gate is one operation of a circuit: a single-qubit unitary U applied to
 // Target, conditioned on every qubit in Controls being |1⟩ (paper
 // Eq. 7), or a measurement of Target.
+//
+// A gate with Par != nil is parametric: its angle is resolved from a
+// parameter vector by Circuit.Bind, which materializes U. Until bound,
+// U is meaningless (zero) and the executors reject the circuit.
 type Gate struct {
 	Kind     GateKind
 	Name     string
 	Target   int
 	Controls []int
 	U        Matrix2
+	Par      *Param
 }
 
 // String renders the gate compactly, e.g. "ccx(3,7;9)".

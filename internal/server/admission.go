@@ -32,12 +32,18 @@ const minSpillResident = int64(64) << 10
 //  5. Typed rejection: CodeRejectBudget, nothing allocated, nothing
 //     charged.
 //
+// A batch submission (variants K > 1, from SubmitRequest.Variants)
+// prices the K-variant worst case: qcsim.WithVariants scales the dense
+// ceiling by K and pins the route to the compressed backend, so the
+// reservation covers every state copy a RunBatch/Gradient can hold at
+// once. The rejection stays the same typed CodeRejectBudget.
+//
 // Caller holds s.mu. On admission the session's route is fixed and its
 // priced bytes are reserved in the ledger (s.reserved > 0), so the
 // later engine build in ensureResident does not re-charge. fresh
 // reports that THIS call created the route (and holds its reservation)
 // — the caller uses it to undo the admission if the job never enqueues.
-func (srv *Server) admit(s *Session, c *circuit.Circuit) (adm *Admission, fresh bool, err error) {
+func (srv *Server) admit(s *Session, c *circuit.Circuit, variants int) (adm *Admission, fresh bool, err error) {
 	if s.route != nil {
 		return s.route, false, nil
 	}
@@ -48,6 +54,11 @@ func (srv *Server) admit(s *Session, c *circuit.Circuit) (adm *Admission, fresh 
 	}
 	if s.blockAmps > 0 {
 		opts = append(opts, qcsim.WithBlockAmps(s.blockAmps))
+	}
+	if variants != 0 {
+		// WithVariants validates (negative → ErrBadConfig →
+		// CodeErrBadRequest via admissionCode) and scales the estimate.
+		opts = append(opts, qcsim.WithVariants(variants))
 	}
 	est, err := qcsim.EstimateCircuit(s.Qubits, c, opts...)
 	if err != nil {

@@ -170,6 +170,12 @@ type SessionInfo struct {
 type SubmitRequest struct {
 	// Circuit is the qc-format circuit text.
 	Circuit string `json:"circuit"`
+	// Variants declares the batch width K the client will drive through
+	// RunBatch/Gradient on this session. Admission then reserves the
+	// K-variant worst case (K dense state copies) instead of one, and
+	// the job is pinned to the compressed backend. 0 or 1 is an
+	// ordinary solo run; negative values are CodeErrBadRequest.
+	Variants int `json:"variants,omitempty"`
 }
 
 // Admission is the controller's pricing decision, echoed to the

@@ -350,7 +350,7 @@ func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	adm, fresh, err := srv.admit(s, circ)
+	adm, fresh, err := srv.admit(s, circ, req.Variants)
 	s.mu.Unlock()
 	if err != nil {
 		code := admissionCode(err)

@@ -86,7 +86,14 @@ func circuitText(t *testing.T, circ *circuit.Circuit) string {
 // returns the events; on rejection it returns the decoded status.
 func (c *client) submit(id string, circ *circuit.Circuit) (int, []JobEvent, *StatusResponse) {
 	c.t.Helper()
-	body, _ := json.Marshal(SubmitRequest{Circuit: circuitText(c.t, circ)})
+	return c.submitVariants(id, circ, 0)
+}
+
+// submitVariants posts a circuit declaring a RunBatch width K, so
+// admission prices the K-variant worst case.
+func (c *client) submitVariants(id string, circ *circuit.Circuit, k int) (int, []JobEvent, *StatusResponse) {
+	c.t.Helper()
+	body, _ := json.Marshal(SubmitRequest{Circuit: circuitText(c.t, circ), Variants: k})
 	resp, err := c.hc.Post(c.base+"/v1/sessions/"+id+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		c.t.Fatal(err)
@@ -322,6 +329,62 @@ func TestAdmissionRoutesSpill(t *testing.T) {
 	}
 	if _, resp := c.sample(sess.SessionID, 4); resp.Code != CodeOK {
 		t.Fatalf("sample on spill session: %+v", resp)
+	}
+	shutdownOK(t, srv)
+}
+
+// TestAdmissionPricesBatchVariants: a submission declaring a RunBatch
+// width K reserves the K-variant worst case (K dense state copies),
+// pins the route to the compressed backend even for MPS-friendly
+// circuits, and keeps the typed CodeRejectBudget when the scaled
+// ceiling does not fit.
+func TestAdmissionPricesBatchVariants(t *testing.T) {
+	srv, err := New(Config{Tenants: []TenantConfig{{Name: "a", MemoryBudget: 1 << 20}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := newClient(t, ts)
+
+	// GHZ-12 solo would route to MPS (bond dimension 2); with K=8 the
+	// lockstep batch is compressed-only and prices 8·2^16 = 512 KiB.
+	sess := c.createSession("a", 12, 1)
+	status, evs, st := c.submitVariants(sess.SessionID, circuit.GHZ(12), 8)
+	if st != nil {
+		t.Fatalf("batch submit rejected: status %d %+v", status, st)
+	}
+	adm := evs[0]
+	if adm.Type != "admitted" || adm.Code != CodeAdmitCompressed {
+		t.Fatalf("want ADMIT_COMPRESSED for a batch of an MPS-friendly circuit, got %+v", adm)
+	}
+	if adm.Admit.PricedBytes != 8<<16 {
+		t.Fatalf("batch pricing: want %d (8 dense copies), got %+v", 8<<16, adm.Admit)
+	}
+	if got := c.inspect(sess.SessionID); got.ReservedBytes != 8<<16 {
+		t.Fatalf("batch reservation: want %d, got %+v", 8<<16, got)
+	}
+
+	// K=32 scales the same register to 2 MiB — over the 1 MiB
+	// allowance, no disk budget: the typed rejection is unchanged and
+	// echoes the scaled footprint. Nothing reserved, nothing routed.
+	over := c.createSession("a", 12, 1)
+	status, _, st = c.submitVariants(over.SessionID, circuit.GHZ(12), 32)
+	if st == nil || st.Code != CodeRejectBudget || status != http.StatusForbidden {
+		t.Fatalf("want REJECT_BUDGET/403 for K=32, got %d %+v", status, st)
+	}
+	if st.Admit == nil || st.Admit.PricedBytes != 32<<16 {
+		t.Fatalf("rejection must echo the K-scaled footprint, got %+v", st.Admit)
+	}
+	if got := c.inspect(over.SessionID); got.Backend != "" || got.ReservedBytes != 0 {
+		t.Fatalf("rejected batch session must stay unrouted, got %+v", got)
+	}
+
+	// Negative widths are a typed bad request, not an internal error.
+	bad := c.createSession("a", 12, 1)
+	status, _, st = c.submitVariants(bad.SessionID, circuit.GHZ(12), -2)
+	if st == nil || st.Code != CodeErrBadRequest || status != http.StatusBadRequest {
+		t.Fatalf("want ERR_BAD_REQUEST/400 for K=-2, got %d %+v", status, st)
 	}
 	shutdownOK(t, srv)
 }

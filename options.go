@@ -24,6 +24,7 @@ type settings struct {
 	sampleCache int
 	backend     string
 	bondDim     int
+	variants    int
 }
 
 // Option configures a Simulator at construction. Options are applied in
@@ -133,6 +134,20 @@ func WithBondDim(chi int) Option {
 	return func(s *settings) { s.bondDim = chi }
 }
 
+// WithVariants declares the batch width K a job will run at
+// (Simulator.RunBatch with K bindings, or a parameter-shift Gradient
+// whose circuit has (K-1)/2 parameter occurrences). The option does not
+// change how a Simulator executes — RunBatch takes its width from the
+// binding list — but it changes how EstimateCircuit prices the job: a
+// K-variant batch holds K state copies in the worst case, so
+// UncompressedBytes scales by K and the job is pinned to the compressed
+// backend (lockstep batching is compressed-only). Admission layers
+// (qcserve) reserve against that K-variant ceiling. Values below 1 are
+// ErrBadConfig; 1 (the default) is an ordinary solo run.
+func WithVariants(k int) Option {
+	return func(s *settings) { s.variants = k }
+}
+
 // WithNoise installs a quantum-trajectories depolarizing channel: after
 // each gate, with probability prob (in [0,1)), a uniformly random Pauli
 // hits the gate's target qubit. Default 0 (noiseless).
@@ -217,6 +232,12 @@ func (s *settings) resolve(qubits int) (core.Config, float64, error) {
 	}
 	if s.noiseProb < 0 || s.noiseProb >= 1 {
 		return cfg, 0, fmt.Errorf("%w: depolarizing probability %v out of [0,1)", ErrBadConfig, s.noiseProb)
+	}
+	if s.variants == 0 {
+		s.variants = 1
+	}
+	if s.variants < 1 {
+		return cfg, 0, fmt.Errorf("%w: variant count %d (need ≥ 1)", ErrBadConfig, s.variants)
 	}
 	if s.bondDim == 0 {
 		s.bondDim = DefaultBondDim

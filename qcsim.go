@@ -44,6 +44,10 @@ type Simulator struct {
 	// closed latches after Close: every error-returning method reports
 	// ErrClosed instead of touching the torn-down engine.
 	closed bool
+	// batch holds the retained variant handles of the most recent
+	// RunBatch call (see BatchVariants); owned by this simulator and
+	// closed with it.
+	batch []*Simulator
 }
 
 // New builds a simulator for the given register width, initialized to
@@ -337,6 +341,7 @@ func (s *Simulator) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.closeBatch()
 	if s.be == nil {
 		return nil
 	}
