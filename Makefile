@@ -1,0 +1,20 @@
+# Developer conveniences; CI runs the same commands
+# (.github/workflows/ci.yml).
+
+.PHONY: test lint fmt
+
+test:
+	go build ./...
+	go test ./...
+
+fmt:
+	gofmt -l -w .
+
+# Run the architectural-invariant analyzers (the lint/ module) over
+# the root module: package layering, block-store encapsulation, error
+# wrapping, engine determinism, context discipline. See "Static
+# analysis" in README.md.
+lint:
+	go -C lint vet ./...
+	go -C lint test ./...
+	go -C lint run ./cmd/qclint -C .. ./...

@@ -61,7 +61,7 @@ func (b *mpsBackend) Qubits() int  { return b.st.Qubits() }
 // error), OnGate after every completed gate.
 func (b *mpsBackend) RunControlled(c *circuit.Circuit, ctl core.RunControl) error {
 	if c.N != b.st.Qubits() {
-		return fmt.Errorf("mps backend: circuit has %d qubits, simulator %d", c.N, b.st.Qubits())
+		return fmt.Errorf("%w: mps backend: circuit has %d qubits, simulator %d", ErrCircuitMismatch, c.N, b.st.Qubits())
 	}
 	if b.fuse {
 		c = quantum.FuseSingleQubitGates(c)

@@ -2,6 +2,7 @@ package qcsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -250,12 +251,18 @@ func (s *Simulator) runBatchCircuits(ctx context.Context, circuits []*circuit.Ci
 	}
 	var ctl core.RunControl
 	if ctx == nil {
+		//qclint:allow ctxflow nil ctx is the facade's documented "run uncancelled" default
 		ctx = context.Background()
 	}
 	if ctx.Done() != nil {
 		ctl.PollAbort = ctx.Err
 	}
 	runErr := core.RunBatch(sims, circuits, ctl)
+	if errors.Is(runErr, core.ErrBatchMismatch) {
+		// Batch validation failures are configuration errors at the
+		// public surface, same as their single-variant analogues.
+		runErr = fmt.Errorf("%w: %v", ErrBadConfig, runErr)
+	}
 	results := make([]Result, len(sims))
 	for v, cs := range sims {
 		all := cs.Measurements()

@@ -77,7 +77,7 @@ func parseTenant(s string) (server.TenantConfig, error) {
 	tc.Name = parts[0]
 	budget, err := parseBytes(parts[1])
 	if err != nil {
-		return tc, fmt.Errorf("bad -tenant %q: %v", s, err)
+		return tc, fmt.Errorf("bad -tenant %q: %w", s, err)
 	}
 	tc.MemoryBudget = budget
 	if len(parts) >= 3 {

@@ -234,6 +234,20 @@
 // table and figure of the paper in internal/harness; and the qcserve
 // multi-tenant serving subsystem in internal/server.
 //
+// # Static analysis
+//
+// The layering above, and the repo's other architectural invariants
+// (block storage behind blockstore.Store, typed error chains on this
+// facade, deterministic randomness in the engine, context discipline),
+// are enforced by qclint — a type-aware analyzer suite in the nested
+// lint/ module, run in CI and locally with:
+//
+//	make lint
+//
+// Exemptions are per-line //qclint:allow <analyzer> <reason>
+// directives; the reason is mandatory and audited. See the "Static
+// analysis" section of README.md for the invariant catalogue.
+//
 // # Parallelism
 //
 // Two knobs mirror the paper's Theta deployment (MPI ranks × OpenMP

@@ -55,6 +55,14 @@ var (
 	// Sampler was built. Build a fresh one with Simulator.Sampler.
 	ErrStaleSampler = errors.New("qcsim: sampler stale: state mutated since it was built")
 
+	// ErrAssertionFailed reports a statistical assertion
+	// (AssertClassical, AssertSuperposition, AssertProduct) that the
+	// current state does not satisfy. The message carries the measured
+	// probability or total-variation distance:
+	//
+	//	if err := sim.AssertClassical(0, 1, 1e-6); errors.Is(err, qcsim.ErrAssertionFailed) { ... }
+	ErrAssertionFailed = errors.New("qcsim: assertion failed")
+
 	// ErrClosed reports a method call on a Simulator after Close. Every
 	// error-returning method checks it first, so a caller that evicts a
 	// simulator (a serving layer suspending an idle session, a pool

@@ -140,3 +140,58 @@ func TestSentinelErrors(t *testing.T) {
 		mustBe(t, err, context.Canceled)
 	})
 }
+
+// TestAssertionSentinels: the statistical assertions report typed
+// errors at the facade — the engine's untyped messages used to pass
+// through errors.Is unrecognized.
+func TestAssertionSentinels(t *testing.T) {
+	ctx := context.Background()
+	fresh := func(t *testing.T) *Simulator {
+		t.Helper()
+		sim, err := New(2, WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sim.Close() })
+		return sim
+	}
+
+	t.Run("classical-failure", func(t *testing.T) {
+		err := fresh(t).AssertClassical(0, 1, 1e-6) // |00⟩ reads 0, not 1
+		if !errors.Is(err, ErrAssertionFailed) {
+			t.Fatalf("error %q does not wrap ErrAssertionFailed", err)
+		}
+	})
+	t.Run("superposition-failure", func(t *testing.T) {
+		err := fresh(t).AssertSuperposition(0, 0.01) // |0⟩ is classical
+		if !errors.Is(err, ErrAssertionFailed) {
+			t.Fatalf("error %q does not wrap ErrAssertionFailed", err)
+		}
+	})
+	t.Run("product-failure", func(t *testing.T) {
+		sim := fresh(t)
+		if _, err := sim.Run(ctx, circuit.New(2).H(0).CNOT(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		err := sim.AssertProduct(0, 1, 0.01) // a Bell pair is maximally entangled
+		if !errors.Is(err, ErrAssertionFailed) {
+			t.Fatalf("error %q does not wrap ErrAssertionFailed", err)
+		}
+	})
+	t.Run("degenerate-pair", func(t *testing.T) {
+		// a == b passes the per-qubit range checks but is not a pair.
+		err := fresh(t).AssertProduct(1, 1, 0.01)
+		if !errors.Is(err, ErrInvalidQubit) {
+			t.Fatalf("error %q does not wrap ErrInvalidQubit", err)
+		}
+	})
+	t.Run("passing-assertions-stay-nil", func(t *testing.T) {
+		sim := fresh(t)
+		if err := sim.AssertClassical(0, 0, 1e-9); err != nil {
+			t.Fatalf("AssertClassical on |00⟩: %v", err)
+		}
+		if err := sim.AssertProduct(0, 1, 1e-9); err != nil {
+			t.Fatalf("AssertProduct on |00⟩: %v", err)
+		}
+	})
+}

@@ -24,7 +24,7 @@ func (s *Simulator) AssertClassical(q, value int, tol float64) error {
 		p = 1 - p1
 	}
 	if p < 1-tol {
-		return fmt.Errorf("core: assertion failed: P(q%d=%d) = %.6f < %.6f", q, value, p, 1-tol)
+		return fmt.Errorf("%w: P(q%d=%d) = %.6f < %.6f", ErrAssertFailed, q, value, p, 1-tol)
 	}
 	return nil
 }
@@ -37,7 +37,7 @@ func (s *Simulator) AssertSuperposition(q int, tol float64) error {
 		return err
 	}
 	if math.Abs(p1-0.5) > tol {
-		return fmt.Errorf("core: assertion failed: P(q%d=1) = %.6f, not within %.3f of 1/2", q, p1, tol)
+		return fmt.Errorf("%w: P(q%d=1) = %.6f, not within %.3f of 1/2", ErrAssertFailed, q, p1, tol)
 	}
 	return nil
 }
@@ -66,7 +66,7 @@ func (s *Simulator) AssertProduct(a, b int, tol float64) error {
 	}
 	tv /= 2
 	if tv > tol {
-		return fmt.Errorf("core: assertion failed: qubits %d,%d entangled (TV distance %.6f > %.6f)", a, b, tv, tol)
+		return fmt.Errorf("%w: qubits %d,%d entangled (TV distance %.6f > %.6f)", ErrAssertFailed, a, b, tv, tol)
 	}
 	return nil
 }
@@ -76,7 +76,7 @@ func (s *Simulator) AssertProduct(a, b int, tol float64) error {
 func (s *Simulator) jointDistribution(a, b int) ([4]float64, error) {
 	var joint [4]float64
 	if a == b || a < 0 || b < 0 || a >= s.cfg.Qubits || b >= s.cfg.Qubits {
-		return joint, fmt.Errorf("core: invalid qubit pair (%d, %d)", a, b)
+		return joint, fmt.Errorf("%w (%d, %d)", ErrInvalidPair, a, b)
 	}
 	scratch := make([]float64, 2*s.blockAmps())
 	for r, rs := range s.ranks {

@@ -97,28 +97,28 @@ func (s *Simulator) Clone(seed int64) (*Simulator, error) {
 // against variant 0's gates.
 func RunBatch(sims []*Simulator, circuits []*quantum.Circuit, ctl RunControl) error {
 	if len(sims) == 0 {
-		return fmt.Errorf("core: empty batch")
+		return fmt.Errorf("%w: empty batch", ErrBatchMismatch)
 	}
 	if len(sims) != len(circuits) {
-		return fmt.Errorf("core: %d simulators for %d circuits", len(sims), len(circuits))
+		return fmt.Errorf("%w: %d simulators for %d circuits", ErrBatchMismatch, len(sims), len(circuits))
 	}
 	s0 := sims[0]
 	for v, s := range sims {
 		if s == nil || circuits[v] == nil {
-			return fmt.Errorf("core: nil simulator or circuit at variant %d", v)
+			return fmt.Errorf("%w: nil simulator or circuit at variant %d", ErrBatchMismatch, v)
 		}
 		if circuits[v].N != s.cfg.Qubits {
-			return fmt.Errorf("core: variant %d circuit has %d qubits, simulator %d", v, circuits[v].N, s.cfg.Qubits)
+			return fmt.Errorf("%w: variant %d circuit has %d qubits, simulator %d", ErrBatchMismatch, v, circuits[v].N, s.cfg.Qubits)
 		}
 		if circuits[v].Parametric() {
-			return fmt.Errorf("core: variant %d circuit has unbound parameters; Bind it first", v)
+			return fmt.Errorf("%w: variant %d circuit has unbound parameters; Bind it first", ErrBatchMismatch, v)
 		}
 		if v > 0 {
 			if err := sameBatchConfig(s0, s); err != nil {
-				return fmt.Errorf("core: variant %d: %w", v, err)
+				return fmt.Errorf("variant %d: %w", v, err)
 			}
 			if !quantum.SameShape(circuits[v], circuits[0]) {
-				return fmt.Errorf("core: variant %d circuit shape differs from variant 0 (lockstep needs one shape)", v)
+				return fmt.Errorf("%w: variant %d circuit shape differs from variant 0 (lockstep needs one shape)", ErrBatchMismatch, v)
 			}
 		}
 	}
@@ -170,14 +170,14 @@ func sameBatchConfig(a, b *Simulator) error {
 		a.cfg.DisableSweeps != b.cfg.DisableSweeps,
 		a.cfg.FuseGates != b.cfg.FuseGates,
 		a.cfg.MemoryBudget != b.cfg.MemoryBudget:
-		return fmt.Errorf("simulator configuration differs from variant 0")
+		return fmt.Errorf("%w: simulator configuration differs from variant 0", ErrBatchMismatch)
 	}
 	if len(a.cfg.ErrorLevels) != len(b.cfg.ErrorLevels) {
-		return fmt.Errorf("error-level ladder differs from variant 0")
+		return fmt.Errorf("%w: error-level ladder differs from variant 0", ErrBatchMismatch)
 	}
 	for i := range a.cfg.ErrorLevels {
 		if a.cfg.ErrorLevels[i] != b.cfg.ErrorLevels[i] {
-			return fmt.Errorf("error-level ladder differs from variant 0")
+			return fmt.Errorf("%w: error-level ladder differs from variant 0", ErrBatchMismatch)
 		}
 	}
 	return nil
@@ -200,7 +200,7 @@ func runBatchLockstep(sims []*Simulator, circuits []*quantum.Circuit, ctl RunCon
 	}
 	for v := 1; v < K; v++ {
 		if !quantum.SameShape(cs[v], cs[0]) {
-			return fmt.Errorf("core: variant %d shape diverged after fusion", v)
+			return fmt.Errorf("%w: variant %d shape diverged after fusion", ErrBatchMismatch, v)
 		}
 	}
 	nGates := len(cs[0].Gates)

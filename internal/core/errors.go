@@ -1,0 +1,30 @@
+package core
+
+import "errors"
+
+// Sentinels rooting the engine's validation and assertion failures, so
+// the facade can translate them with errors.Is instead of matching
+// message text. Everything fmt.Errorf builds in this package wraps one
+// of these (or a sentinel declared next to its subsystem, like
+// ErrSamplerStale).
+var (
+	// ErrAssertFailed roots every statistical-assertion failure
+	// (AssertClassical, AssertSuperposition, AssertProduct).
+	ErrAssertFailed = errors.New("core: assertion failed")
+
+	// ErrInvalidPair reports a joint-distribution request over an
+	// out-of-range or degenerate (a == b) qubit pair.
+	ErrInvalidPair = errors.New("core: invalid qubit pair")
+
+	// ErrZeroMass reports a sampler build over a state whose total
+	// probability mass is zero (fully decohered by lossy compression).
+	ErrZeroMass = errors.New("core: sampler: state has zero total mass")
+
+	// ErrNegativeShots reports a negative shot count.
+	ErrNegativeShots = errors.New("core: negative shot count")
+
+	// ErrBatchMismatch roots every RunBatch validation failure: empty
+	// or ragged batches, nil variants, width or shape divergence, and
+	// configuration drift between variants.
+	ErrBatchMismatch = errors.New("core: variant batch mismatch")
+)

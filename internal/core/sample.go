@@ -125,7 +125,7 @@ func (s *Simulator) NewSampler(cacheBlocks int) (*Sampler, error) {
 		masses[i] = total
 	}
 	if !(total > 0) {
-		return nil, fmt.Errorf("core: sampler: state has zero total mass")
+		return nil, ErrZeroMass
 	}
 	if cacheBlocks < 1 {
 		cacheBlocks = 1
@@ -157,7 +157,7 @@ func (sp *Sampler) Sample(rng *rand.Rand, shots int) ([]uint64, error) {
 		return nil, ErrSamplerStale
 	}
 	if shots < 0 {
-		return nil, fmt.Errorf("core: negative shot count %d", shots)
+		return nil, fmt.Errorf("%w: %d", ErrNegativeShots, shots)
 	}
 	if rng == nil {
 		rng = sp.s.sampleRng

@@ -19,6 +19,7 @@ type job struct {
 	circ *circuit.Circuit
 	// ctx is derived from the client request: disconnecting cancels the
 	// run at the next sweep boundary, keeping the completed prefix.
+	//qclint:allow ctxflow a queued job carries its request context so disconnect cancels the run
 	ctx    context.Context
 	events chan JobEvent
 }

@@ -1,0 +1,48 @@
+// Package allowdirective audits the //qclint:allow exemption budget.
+// A directive must name a real analyzer and carry a reason:
+//
+//	//qclint:allow ctxflow queued jobs carry the submit ctx by design
+//
+// A bare directive (no analyzer, or no reason) suppresses nothing —
+// the suppression machinery ignores it — and is itself flagged here so
+// it cannot linger looking like an exemption. Unknown analyzer names
+// are flagged too, catching typos that would otherwise silently fail
+// to suppress.
+package allowdirective
+
+import (
+	"qcsim/lint/internal/analysis"
+)
+
+// New builds the auditor for a known set of analyzer names.
+func New(known []string) *analysis.Analyzer {
+	names := make(map[string]bool, len(known))
+	for _, n := range known {
+		names[n] = true
+	}
+	return &analysis.Analyzer{
+		Name: "allowdirective",
+		Doc: "every //qclint:allow directive names a real analyzer and carries a reason; " +
+			"bare or misspelled directives suppress nothing and are flagged",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range analysis.AllowDirectives(f) {
+					switch {
+					case d.Analyzer == "" || (d.Reason == "" && !names[d.Analyzer]):
+						pass.Reportf(d.Pos,
+							"bare %s directive; usage: %s <analyzer> <reason>",
+							analysis.AllowMarker, analysis.AllowMarker)
+					case !names[d.Analyzer]:
+						pass.Reportf(d.Pos,
+							"unknown analyzer %q in %s directive", d.Analyzer, analysis.AllowMarker)
+					case d.Reason == "":
+						pass.Reportf(d.Pos,
+							"%s %s directive without a reason; exemptions must say why",
+							analysis.AllowMarker, d.Analyzer)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,23 @@
+package allowdirective_test
+
+import (
+	"testing"
+
+	"qcsim/lint/analyzers/allowdirective"
+	"qcsim/lint/analyzers/registry"
+	"qcsim/lint/internal/analysistest"
+)
+
+func TestAllowDirective(t *testing.T) {
+	// Build the auditor with the real suite's names so the fixture's
+	// "ctxflow" directive resolves and "nosuch" does not.
+	var names []string
+	for _, a := range registry.All() {
+		if a.Name != "allowdirective" {
+			names = append(names, a.Name)
+		}
+	}
+	analysistest.Run(t, analysistest.TestData(), allowdirective.New(names),
+		"qcsim/internal/demo",
+	)
+}

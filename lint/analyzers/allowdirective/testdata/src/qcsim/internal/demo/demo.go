@@ -1,0 +1,15 @@
+// Fixture: the exemption-budget auditor. Only the last directive is a
+// usable exemption; the rest suppress nothing and are flagged.
+package demo
+
+//qclint:allow // want "bare"
+func a() {}
+
+//qclint:allow ctxflow // want "without a reason"
+func b() {}
+
+//qclint:allow nosuch some reason // want "unknown analyzer"
+func c() {}
+
+//qclint:allow ctxflow jobs carry the submit context by design
+func d() {}

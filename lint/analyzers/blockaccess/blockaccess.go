@@ -1,0 +1,83 @@
+// Package blockaccess enforces the BlockStore seam from PR 6: outside
+// internal/blockstore, no package declares or touches a raw block
+// table ([][]byte of compressed blobs). The old CI gate grepped for
+// `rs\.blocks` / `\.blocks\[`, which missed renamed receivers,
+// re-sliced tables, and aliases escaping into locals; this analyzer
+// resolves accesses through the type checker instead:
+//
+//   - declaring a struct field named "blocks" whose underlying type is
+//     [][]byte is flagged (a reborn block table), and
+//   - any selector that resolves to such a field — indexing, slicing,
+//     ranging, passing, or aliasing it — is flagged at the point of
+//     access, whatever the receiver is called.
+//
+// Aliases are caught at creation (`t := rs.blocks` flags the selector),
+// so a table can never legally escape to an unflagged local. Test
+// files are covered: state pokes in tests go through store accessors
+// too.
+package blockaccess
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qcsim/lint/internal/analysis"
+)
+
+// storePkg is the only package allowed to own a block table.
+const storePkg = "qcsim/internal/blockstore"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "blockaccess",
+	Doc: "block storage goes through the blockstore.Store interface: no package outside " +
+		"internal/blockstore declares a [][]byte field named blocks or indexes/slices/ranges/" +
+		"aliases one, resolved through the type checker",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.BasePkgPath(pass.PkgPath) == storePkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					for _, name := range field.Names {
+						obj := pass.TypesInfo.Defs[name]
+						if obj != nil && name.Name == "blocks" && isBlockTable(obj.Type()) {
+							pass.Reportf(name.Pos(),
+								"raw block table field %q (%s); block storage must go through blockstore.Store",
+								name.Name, obj.Type())
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				sel := pass.TypesInfo.Selections[n]
+				if sel != nil && sel.Kind() == types.FieldVal &&
+					sel.Obj().Name() == "blocks" && isBlockTable(sel.Obj().Type()) {
+					pass.Reportf(n.Sel.Pos(),
+						"direct access to block table field %q outside internal/blockstore; use the Store interface (Get/Put/Peek)",
+						n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isBlockTable reports whether t's underlying type is [][]byte.
+func isBlockTable(t types.Type) bool {
+	outer, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	inner, ok := outer.Elem().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := inner.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

@@ -1,0 +1,15 @@
+package blockaccess_test
+
+import (
+	"testing"
+
+	"qcsim/lint/analyzers/blockaccess"
+	"qcsim/lint/internal/analysistest"
+)
+
+func TestBlockAccess(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), blockaccess.Analyzer,
+		"qcsim/internal/core",
+		"qcsim/internal/blockstore",
+	)
+}

@@ -1,0 +1,32 @@
+// Fixture: a reborn block table in the engine core, with every access
+// shape the old `\.blocks\[` grep missed.
+package core
+
+type table [][]byte
+
+type resumeState struct {
+	blocks [][]byte // want "raw block table field"
+	n      int
+}
+
+type cache struct {
+	blocks table // want "raw block table field"
+}
+
+type meta struct {
+	blocks []int // a slice of ints is not a block table
+}
+
+func (rs *resumeState) get(i int) []byte {
+	return rs.blocks[i] // want "direct access to block table field"
+}
+
+func total(s *resumeState, m *meta) int {
+	t := s.blocks // want "direct access to block table field"
+	sum := 0
+	for _, b := range s.blocks { // want "direct access to block table field"
+		sum += len(b)
+	}
+	sum += len(t) + len(m.blocks)
+	return sum
+}

@@ -1,0 +1,122 @@
+// Package ctxflow enforces the repo's context discipline:
+//
+//  1. a context.Context parameter must be the first parameter
+//     (functions and function literals alike),
+//  2. context.Context must not be stored in a struct field — contexts
+//     flow through call stacks, not object lifetimes (the server's
+//     queued-job struct is the one documented exemption, carried by a
+//     //qclint:allow directive at the field), and
+//  3. library code must not mint its own root context with
+//     context.Background() or context.TODO(); only the binaries under
+//     cmd/ and the runnable examples/ own roots. The facade's
+//     "nil ctx means Background" convenience defaults are documented
+//     exemptions via //qclint:allow.
+//
+// Test files are skipped: tests legitimately create root contexts.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qcsim/lint/internal/analysis"
+)
+
+// rootOwners are package-path prefixes allowed to call
+// context.Background/TODO: process entry points own their roots.
+var rootOwners = []string{"qcsim/cmd", "qcsim/examples"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "context.Context is always the first parameter, never a struct field, and never " +
+		"minted via context.Background/TODO in library code (only cmd/ and examples/ own roots)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	rootOwner := false
+	for _, p := range rootOwners {
+		if analysis.HasPathPrefix(analysis.BasePkgPath(pass.PkgPath), p) {
+			rootOwner = true
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkParams(pass, n.Type)
+			case *ast.FuncLit:
+				checkParams(pass, n.Type)
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if len(field.Names) == 0 {
+						continue // embedding context.Context would not type-check as a field store
+					}
+					if isContext(pass.TypesInfo.Types[field.Type].Type) {
+						pass.Reportf(field.Pos(),
+							"context.Context stored in a struct field; contexts flow through parameters, not object lifetimes")
+					}
+				}
+			case *ast.CallExpr:
+				if rootOwner {
+					return true
+				}
+				if pkg, name := pkgFunc(pass, n); pkg == "context" && (name == "Background" || name == "TODO") {
+					pass.Reportf(n.Pos(),
+						"context.%s in library code; accept a caller context instead — only cmd/ and examples/ mint root contexts", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkParams flags a context.Context parameter that is not in the
+// first (flattened) position.
+func checkParams(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // flattened parameter position
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isContext(pass.TypesInfo.Types[field.Type].Type) && pos != 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// pkgFunc resolves a call to its package path and function name, for
+// package-level functions only.
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) (pkg, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"qcsim/lint/analyzers/ctxflow"
+	"qcsim/lint/internal/analysistest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer,
+		"qcsim/internal/demo",
+		"qcsim/internal/server",
+		"qcsim/cmd/tool",
+	)
+}

@@ -1,0 +1,9 @@
+// Binaries own their root contexts.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,27 @@
+// Library fixture: every context-discipline violation.
+package demo
+
+import "context"
+
+// Run has ctx first: fine.
+func Run(ctx context.Context, n int) error { return nil }
+
+func badOrder(n int, ctx context.Context) error { return nil } // want "first parameter"
+
+type job struct {
+	ctx context.Context // want "stored in a struct"
+	id  int
+}
+
+func mint() context.Context {
+	return context.Background() // want "library code"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "library code"
+}
+
+func litBad() {
+	f := func(n int, ctx context.Context) {} // want "first parameter"
+	f(0, nil)
+}

@@ -1,0 +1,9 @@
+// Tests mint root contexts freely.
+package demo
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRun(t *testing.T) { _ = Run(context.Background(), 1) }

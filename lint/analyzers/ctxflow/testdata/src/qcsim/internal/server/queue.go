@@ -1,0 +1,14 @@
+// The documented exemption: a queued job carries the submit context so
+// cancellation follows the tenant request across the suspend/resume
+// boundary. The directive must carry its reason.
+package server
+
+import "context"
+
+type job struct {
+	//qclint:allow ctxflow queued jobs carry the submit context across suspend/resume by design
+	ctx context.Context
+	id  int
+}
+
+func enqueue(ctx context.Context, id int) job { return job{ctx: ctx, id: id} }

@@ -1,0 +1,15 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"qcsim/lint/analyzers/detrand"
+	"qcsim/lint/internal/analysistest"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrand.Analyzer,
+		"qcsim/internal/quantum",
+		"qcsim/internal/harness",
+	)
+}

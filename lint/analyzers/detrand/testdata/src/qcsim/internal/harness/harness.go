@@ -1,0 +1,7 @@
+// Non-engine fixture: internal/harness is outside the determinism
+// boundary (it times wall-clock runs), so global rand is allowed.
+package harness
+
+import "math/rand"
+
+func Jitter(n int) int { return rand.Intn(n) }

@@ -1,0 +1,49 @@
+// Engine fixture: every banned randomness shape, plus the blessed
+// Config.Seed path.
+package quantum
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+type Config struct{ Seed int64 }
+
+func pick(n int) int {
+	return rand.Intn(n) // want "breaks bit-identity"
+}
+
+func pickV2(n int) int {
+	return randv2.IntN(n) // want "breaks bit-identity"
+}
+
+func newRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeding from time.Now"
+}
+
+func clockSeed() int64 {
+	seed := time.Now().UnixNano() // want "seeding from time.Now"
+	return seed
+}
+
+var bootSeed = time.Now().UnixNano() // want "seeding from time.Now"
+
+// Deriving from Config.Seed is the blessed path.
+func fromConfig(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+// Drawing from a derived source is fine — only the global source is
+// banned.
+func draw(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}
+
+// Timing with time.Now is fine; only seed flows are flagged.
+func timed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+var _ = bootSeed

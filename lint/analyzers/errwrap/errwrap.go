@@ -1,0 +1,267 @@
+// Package errwrap keeps the PR 2 typed-error contract from eroding.
+// Two rules:
+//
+//  1. Everywhere (non-test files): a fmt.Errorf call that formats an
+//     error operand with %v/%s and has no %w anywhere discards the
+//     error chain — errors.Is can no longer see the cause. The
+//     facade's deliberate flatten idiom `fmt.Errorf("%w: %v",
+//     ErrSentinel, err)` is allowed: the chain is rooted in the
+//     sentinel and the cause is flattened on purpose.
+//
+//  2. On the exported surface of the public packages (qcsim, circuit,
+//     bench): a return of a freshly built rootless error —
+//     fmt.Errorf without %w, or an inline errors.New — can never be
+//     errors.Is-reachable, violating the documented contract that
+//     every public error wraps a qcsim.Err* sentinel. Returning
+//     declared sentinels or propagated call results is fine.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"qcsim/lint/internal/analysis"
+)
+
+// facadePkgs are the packages whose exported surface carries the
+// sentinel contract.
+var facadePkgs = map[string]bool{
+	"qcsim":         true,
+	"qcsim/circuit": true,
+	"qcsim/bench":   true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "fmt.Errorf with an error operand must keep the chain (%w somewhere in the format), " +
+		"and exported functions of qcsim/circuit/bench must not return rootless errors — " +
+		"every public error wraps a typed qcsim.Err* sentinel reachable by errors.Is",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	facade := facadePkgs[analysis.BasePkgPath(pass.PkgPath)]
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		// Rule 1: chain-breaking error operands, anywhere.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeOf(pass, call); fn == "fmt.Errorf" {
+				checkErrorfOperands(pass, call)
+			}
+			return true
+		})
+		// Rule 2: rootless returns on the exported facade surface.
+		if !facade {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkExportedReturns(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkErrorfOperands flags error-typed operands whose verb loses the
+// chain when the call wraps nothing at all.
+func checkErrorfOperands(pass *analysis.Pass, call *ast.CallExpr) {
+	verbs, ok := operandVerbs(pass, call)
+	if !ok {
+		return
+	}
+	hasW := false
+	for _, v := range verbs {
+		if v == 'w' {
+			hasW = true
+		}
+	}
+	if hasW {
+		return // chain rooted; extra %v operands are the flatten idiom
+	}
+	for i, v := range verbs {
+		argIdx := 1 + i
+		if v == 0 || argIdx >= len(call.Args) {
+			continue
+		}
+		t := pass.TypesInfo.Types[call.Args[argIdx]].Type
+		if t != nil && implementsError(t) {
+			pass.Reportf(call.Args[argIdx].Pos(),
+				"error operand formatted with %%%c and no %%w in the call, breaking the error chain; use %%w (or wrap a sentinel)", v)
+		}
+	}
+}
+
+// checkExportedReturns flags returns of freshly built rootless errors
+// inside an exported function (nested function literals return from
+// themselves, not the surface, and are skipped).
+func checkExportedReturns(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				checkReturnedExpr(pass, fd, res)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+func checkReturnedExpr(pass *analysis.Pass, fd *ast.FuncDecl, e ast.Expr) {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil || !implementsError(t) {
+		return
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	switch calleeOf(pass, call) {
+	case "errors.New":
+		pass.Reportf(call.Pos(),
+			"exported %s returns an inline errors.New error; declare a sentinel (or wrap one with fmt.Errorf and %%w) so callers can errors.Is it",
+			fd.Name.Name)
+	case "fmt.Errorf":
+		verbs, ok := operandVerbs(pass, call)
+		if !ok {
+			return
+		}
+		hasErrOperand := false
+		for i, v := range verbs {
+			if v == 0 || 1+i >= len(call.Args) {
+				continue
+			}
+			if at := pass.TypesInfo.Types[call.Args[1+i]].Type; at != nil {
+				if v == 'w' {
+					return // chain rooted
+				}
+				if implementsError(at) {
+					hasErrOperand = true
+				}
+			}
+		}
+		if hasErrOperand {
+			return // rule 1 already reported the chain break
+		}
+		pass.Reportf(call.Pos(),
+			"exported %s returns a rootless fmt.Errorf error; wrap a typed sentinel with %%w so callers can errors.Is it",
+			fd.Name.Name)
+	}
+}
+
+// calleeOf resolves a call to "pkgpath.Func" for package-level
+// functions, or "".
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// operandVerbs maps each variadic operand of a fmt.Errorf call to the
+// verb that consumes it (0 for operands consumed as width/precision).
+// Returns ok=false when the format is not a constant string or the
+// call spreads a slice.
+func operandVerbs(pass *analysis.Pass, call *ast.CallExpr) ([]rune, bool) {
+	if len(call.Args) < 1 || call.Ellipsis.IsValid() {
+		return nil, false
+	}
+	tv := pass.TypesInfo.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil, false
+	}
+	format := constant.StringVal(tv.Value)
+	verbs := make([]rune, 0, len(call.Args)-1)
+	next := 0 // next operand index
+	take := func(v rune) {
+		for len(verbs) <= next {
+			verbs = append(verbs, 0)
+		}
+		verbs[next] = v
+		next++
+	}
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(rs) && (rs[i] == '+' || rs[i] == '-' || rs[i] == '#' || rs[i] == ' ' || rs[i] == '0') {
+			i++
+		}
+		// width
+		if i < len(rs) && rs[i] == '*' {
+			take(0)
+			i++
+		} else {
+			for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(rs) && rs[i] == '.' {
+			i++
+			if i < len(rs) && rs[i] == '*' {
+				take(0)
+				i++
+			} else {
+				for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// explicit argument index
+		if i < len(rs) && rs[i] == '[' {
+			j := i + 1
+			idx := 0
+			for j < len(rs) && rs[j] >= '0' && rs[j] <= '9' {
+				idx = idx*10 + int(rs[j]-'0')
+				j++
+			}
+			if j >= len(rs) || rs[j] != ']' || idx < 1 {
+				return nil, false // malformed; leave to go vet
+			}
+			next = idx - 1
+			i = j + 1
+		}
+		if i >= len(rs) {
+			break
+		}
+		take(rs[i])
+	}
+	return verbs, true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

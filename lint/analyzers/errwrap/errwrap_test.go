@@ -1,0 +1,15 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"qcsim/lint/analyzers/errwrap"
+	"qcsim/lint/internal/analysistest"
+)
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errwrap.Analyzer,
+		"qcsim",
+		"qcsim/internal/demo",
+	)
+}

@@ -1,0 +1,43 @@
+// Non-facade fixture: the chain-break rule applies repo-wide; the
+// rootless-return rule does not.
+package demo
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("demo: base")
+
+func lose(err error) error {
+	return fmt.Errorf("ctx: %v", err) // want "breaking the error chain"
+}
+
+func loseString(err error) error {
+	return fmt.Errorf("ctx: %s", err) // want "breaking the error chain"
+}
+
+func indexed(n int, err error) error {
+	return fmt.Errorf("%[2]v after %[1]d", n, err) // want "breaking the error chain"
+}
+
+func widthStar(w int, err error) error {
+	return fmt.Errorf("%*d: %v", w, 7, err) // want "breaking the error chain"
+}
+
+func keep(err error) error {
+	return fmt.Errorf("ctx: %w", err)
+}
+
+// Rootless returns outside the facade are allowed: internal packages
+// build plain errors and the facade maps them to sentinels.
+func Rootless(n int) error {
+	return fmt.Errorf("n=%d", n)
+}
+
+// A non-constant format cannot be parsed; left to go vet.
+func dynamic(f string, err error) error {
+	return fmt.Errorf(f, err)
+}
+
+func use() { _ = errBase }

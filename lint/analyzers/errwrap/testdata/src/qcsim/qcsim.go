@@ -1,0 +1,57 @@
+// Facade fixture: exported surface carries the sentinel contract.
+package qcsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBadConfig = errors.New("qcsim: bad config")
+
+// Open flattens a cause under a sentinel — the documented idiom; the
+// chain is rooted by %w, so the %v operand is fine.
+func Open(path string) error {
+	if err := load(path); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return nil
+}
+
+// Decode formats its cause with %v and wraps nothing: the chain dies
+// here.
+func Decode(b []byte) error {
+	if err := parse(b); err != nil {
+		return fmt.Errorf("decode: %v", err) // want "breaking the error chain"
+	}
+	return nil
+}
+
+// Validate mints a rootless message on the exported surface.
+func Validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad qubit count %d", n) // want "rootless"
+	}
+	return nil
+}
+
+// Close mints an inline errors.New on the exported surface.
+func Close() error {
+	return errors.New("already closed") // want "inline errors.New"
+}
+
+// Wrap roots the chain in a sentinel: fine.
+func Wrap(detail string) error {
+	return fmt.Errorf("%w: %s", ErrBadConfig, detail)
+}
+
+// Sentinel returns a declared sentinel: fine.
+func Sentinel() error { return ErrBadConfig }
+
+// helper is unexported: internal construction is the facade's own
+// business until it crosses the exported surface.
+func helper() error {
+	return fmt.Errorf("internal detail %d", 3)
+}
+
+func load(string) error  { return nil }
+func parse([]byte) error { return nil }

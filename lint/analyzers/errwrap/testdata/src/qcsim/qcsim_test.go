@@ -1,0 +1,12 @@
+// Test files are exempt: tests may flatten errors freely.
+package qcsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFlatten(t *testing.T) {
+	err := Decode(nil)
+	_ = fmt.Errorf("context: %v", err)
+}

@@ -1,0 +1,121 @@
+// Package importboundary enforces the repo's layering contract as a
+// table-driven rule set, replacing the three import greps that used to
+// live in ci.yml. Unlike the greps it resolves real import specs — so
+// aliased, renamed, and blank imports are caught, comments cannot
+// false-positive, and test files (in-package and external) are
+// covered.
+package importboundary
+
+import (
+	"go/token"
+	"strconv"
+
+	"qcsim/lint/internal/analysis"
+)
+
+// rule denies a set of import-path prefixes to packages under a set of
+// package-path prefixes, with exact-package exemptions.
+type rule struct {
+	name   string
+	scopes []string            // package-path prefixes the rule governs
+	deny   []string            // import-path prefixes denied in scope
+	exempt map[string][]string // package path -> importable prefixes despite deny
+	why    string
+}
+
+// rules is the layering table. Scope and deny matching is by path
+// segment, and a package's external test package ("..._test") inherits
+// its rules.
+var rules = []rule{
+	{
+		name:   "facade-only",
+		scopes: []string{"qcsim/examples", "qcsim/cmd"},
+		deny:   []string{"qcsim/internal"},
+		exempt: map[string][]string{
+			// The one documented exemption: cmd/qcserve is the CLI
+			// shell of the serving subsystem.
+			"qcsim/cmd/qcserve": {"qcsim/internal/server"},
+		},
+		why: "examples/ and cmd/ ride the public facade (qcsim, qcsim/circuit, qcsim/bench)",
+	},
+	{
+		name:   "serving-on-facade",
+		scopes: []string{"qcsim/internal/server", "qcsim/cmd/qcserve"},
+		deny: []string{
+			"qcsim/internal/core", "qcsim/internal/quantum", "qcsim/internal/mps",
+			"qcsim/internal/blockstore", "qcsim/internal/compress", "qcsim/internal/mpi",
+			"qcsim/internal/harness", "qcsim/internal/stats", "qcsim/internal/bitio",
+			"qcsim/internal/huffman",
+		},
+		why: "the serving subsystem admits through qcsim.EstimateCircuit, never the engine internals",
+	},
+	{
+		name:   "public-pkg-no-core",
+		scopes: []string{"qcsim/circuit", "qcsim/bench"},
+		deny:   []string{"qcsim/internal/core"},
+		why:    "circuit and bench go through internal/quantum and internal/harness; only the root facade touches the engine core",
+	},
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "importboundary",
+	Doc: "enforce the package layering table: examples/ and cmd/ stay on the public facade " +
+		"(cmd/qcserve may use internal/server), the serving subsystem never reaches engine " +
+		"internals, and the public circuit/ and bench/ packages never import internal/core",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkg := analysis.BasePkgPath(pass.PkgPath)
+	reported := make(map[token.Pos]bool)
+	for _, r := range rules {
+		if !inScope(pkg, r.scopes) {
+			continue
+		}
+		for _, f := range pass.Files {
+			for _, spec := range f.Imports {
+				path, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if !denied(path, r.deny) || exempted(pkg, path, r.exempt) {
+					continue
+				}
+				if reported[spec.Pos()] {
+					continue
+				}
+				reported[spec.Pos()] = true
+				pass.Reportf(spec.Pos(), "forbidden import %q in %s: %s (rule %s)",
+					path, pkg, r.why, r.name)
+			}
+		}
+	}
+	return nil
+}
+
+func inScope(pkg string, scopes []string) bool {
+	for _, s := range scopes {
+		if analysis.HasPathPrefix(pkg, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func denied(imp string, deny []string) bool {
+	for _, d := range deny {
+		if analysis.HasPathPrefix(imp, d) {
+			return true
+		}
+	}
+	return false
+}
+
+func exempted(pkg, imp string, exempt map[string][]string) bool {
+	for _, ok := range exempt[pkg] {
+		if analysis.HasPathPrefix(imp, ok) {
+			return true
+		}
+	}
+	return false
+}

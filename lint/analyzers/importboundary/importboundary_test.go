@@ -1,0 +1,19 @@
+package importboundary_test
+
+import (
+	"testing"
+
+	"qcsim/lint/analyzers/importboundary"
+	"qcsim/lint/internal/analysistest"
+)
+
+func TestImportBoundary(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), importboundary.Analyzer,
+		"qcsim/circuit",
+		"qcsim/bench",
+		"qcsim/examples/demo",
+		"qcsim/cmd/qcserve",
+		"qcsim/cmd/other",
+		"qcsim/internal/server",
+	)
+}

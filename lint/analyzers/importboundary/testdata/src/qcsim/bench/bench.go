@@ -1,0 +1,7 @@
+// Package bench may use internal/quantum; only internal/core is
+// denied to it.
+package bench
+
+import "qcsim/internal/quantum"
+
+func Run() { quantum.Gate() }

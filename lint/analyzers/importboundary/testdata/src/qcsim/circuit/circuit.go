@@ -1,0 +1,6 @@
+// Package circuit must stay off the engine core.
+package circuit
+
+import "qcsim/internal/core" // want "rule public-pkg-no-core"
+
+func Build() { core.Step() }

@@ -1,0 +1,9 @@
+// A blank import is still an import: the linkage (init side effects)
+// crosses the boundary even if no name does.
+package main
+
+import (
+	_ "qcsim/internal/mpi" // want "rule facade-only"
+)
+
+func main() {}

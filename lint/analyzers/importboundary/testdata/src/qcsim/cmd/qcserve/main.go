@@ -1,0 +1,13 @@
+// Fixture for the one documented exemption: cmd/qcserve may import
+// internal/server, but still not the engine core.
+package main
+
+import (
+	"qcsim/internal/core" // want "forbidden import \"qcsim/internal/core\""
+	"qcsim/internal/server"
+)
+
+func main() {
+	_ = server.Serve()
+	core.Step()
+}

@@ -1,0 +1,14 @@
+// Fixture: examples ride the facade; an aliased engine import is
+// still resolved and denied.
+package main
+
+import (
+	"qcsim"
+
+	engine "qcsim/internal/core" // want "rule facade-only"
+)
+
+func main() {
+	_ = qcsim.Version()
+	engine.Step()
+}

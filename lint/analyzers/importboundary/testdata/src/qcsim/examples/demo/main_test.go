@@ -1,0 +1,11 @@
+// In-package test files are covered too — the old grep only scanned
+// non-test sources.
+package main
+
+import (
+	"testing"
+
+	"qcsim/internal/quantum" // want "rule facade-only"
+)
+
+func TestDemo(t *testing.T) { quantum.Gate() }

@@ -1,0 +1,3 @@
+package quantum
+
+func Gate() {}

@@ -1,0 +1,5 @@
+package server
+
+import "qcsim/internal/core" // want "rule serving-on-facade"
+
+func admit() { core.Step() }

@@ -1,0 +1,7 @@
+// Package server stubs the serving subsystem. Importing the facade is
+// fine; reaching engine internals is not.
+package server
+
+import "qcsim"
+
+func Serve() string { return qcsim.Version() }

@@ -1,0 +1,4 @@
+// Package qcsim is the facade stub for importboundary fixtures.
+package qcsim
+
+func Version() string { return "fixture" }

@@ -1,0 +1,3 @@
+module qcsim/lint
+
+go 1.22

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowMarker is the line-directive prefix that exempts one line from
+// one analyzer. The full form is
+//
+//	//qclint:allow <analyzer> <reason>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above. The reason is mandatory: a bare allow suppresses
+// nothing and is itself rejected by the allowdirective analyzer, so
+// every exemption in the tree stays grep-able with its justification
+// attached. A reason must not contain "//" (anything from "//" on is
+// treated as a trailing comment, not reason text).
+const AllowMarker = "//qclint:allow"
+
+// AllowDirective is one parsed //qclint:allow comment.
+type AllowDirective struct {
+	Pos      token.Pos // position of the comment
+	Analyzer string    // named analyzer, "" if missing
+	Reason   string    // justification, "" if missing
+}
+
+// AllowDirectives returns every //qclint:allow directive in the file,
+// including malformed ones (empty Analyzer or Reason), so callers can
+// both apply and police them.
+func AllowDirectives(f *ast.File) []AllowDirective {
+	var out []AllowDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, AllowMarker)
+			if !ok {
+				continue
+			}
+			if text != "" && text[0] != ' ' && text[0] != '\t' {
+				continue // e.g. //qclint:allowx — not the marker
+			}
+			// Anything from an embedded "//" on is a trailing
+			// comment (this is how fixtures attach // want
+			// expectations to a directive line), not reason text.
+			if i := strings.Index(text, "//"); i >= 0 {
+				text = text[:i]
+			}
+			d := AllowDirective{Pos: c.Pos()}
+			fields := strings.Fields(text)
+			if len(fields) > 0 {
+				d.Analyzer = fields[0]
+				d.Reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// allowedLines collects the (file, line) pairs suppressed for the
+// named analyzer: a well-formed directive covers its own line and the
+// line below it.
+func allowedLines(fset *token.FileSet, files []*ast.File, analyzer string) map[lineKey]bool {
+	allowed := make(map[lineKey]bool)
+	for _, f := range files {
+		for _, d := range AllowDirectives(f) {
+			if d.Analyzer != analyzer || d.Reason == "" {
+				continue
+			}
+			pos := fset.Position(d.Pos)
+			allowed[lineKey{pos.Filename, pos.Line}] = true
+			allowed[lineKey{pos.Filename, pos.Line + 1}] = true
+		}
+	}
+	return allowed
+}

@@ -1,0 +1,124 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LoadFixture type-checks the fixture package at srcRoot/src/pkgPath
+// (the x/tools analysistest layout). Imports that resolve to another
+// directory under srcRoot/src are type-checked recursively from
+// source; everything else (the standard library) resolves through
+// export data fetched lazily with `go list -export`.
+func LoadFixture(srcRoot, pkgPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		srcRoot: srcRoot,
+		fset:    fset,
+		exp: &exportImporter{
+			fset:     fset,
+			files:    make(map[string]string),
+			packages: make(map[string]*types.Package),
+			fetch:    stdExportFile,
+		},
+		seen: make(map[string]*Package),
+	}
+	return imp.load(pkgPath)
+}
+
+type fixtureImporter struct {
+	srcRoot string
+	fset    *token.FileSet
+	exp     *exportImporter
+	seen    map[string]*Package
+}
+
+func (fi *fixtureImporter) load(pkgPath string) (*Package, error) {
+	if p, ok := fi.seen[pkgPath]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through fixture %q", pkgPath)
+		}
+		return p, nil
+	}
+	fi.seen[pkgPath] = nil // cycle marker
+	dir := filepath.Join(fi.srcRoot, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %q: %w", pkgPath, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture %q: no Go files in %s", pkgPath, dir)
+	}
+	pkg, err := checkFiles(fi.fset, dir, names, pkgPath, fi)
+	if err != nil {
+		return nil, err
+	}
+	fi.seen[pkgPath] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer over the fixture tree plus stdlib
+// export data.
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(fi.srcRoot, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		p, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return fi.exp.Import(path)
+}
+
+var (
+	stdExportMu    sync.Mutex
+	stdExportFiles = make(map[string]string)
+)
+
+// stdExportFile resolves one (usually standard-library) import path to
+// its compiled export data file, caching results process-wide so a
+// test binary pays for each `go list -export` run at most once.
+func stdExportFile(path string) (string, error) {
+	stdExportMu.Lock()
+	defer stdExportMu.Unlock()
+	if f, ok := stdExportFiles[path]; ok {
+		return f, nil
+	}
+	out, err := goOutput("", "list", "-export", "-json=ImportPath,Export,Standard", path)
+	if err != nil {
+		return "", fmt.Errorf("resolving export data for %q: %w", path, err)
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return "", err
+		}
+		if p.Export != "" {
+			stdExportFiles[p.ImportPath] = p.Export
+		}
+	}
+	f, ok := stdExportFiles[path]
+	if !ok {
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	return f, nil
+}

@@ -250,6 +250,7 @@ func (s *Simulator) run(ctx context.Context, c *circuit.Circuit, fn func(Progres
 	eng := s.b()
 	var ctl core.RunControl
 	if ctx == nil {
+		//qclint:allow ctxflow nil ctx is the facade's documented "run uncancelled" default
 		ctx = context.Background()
 	}
 	if ctx.Done() != nil {
@@ -477,6 +478,21 @@ func (s *Simulator) MaxCutEnergy(edges []circuit.Edge) (float64, error) {
 	return s.b().MaxCutEnergy(cut)
 }
 
+// wrapAssert maps the engine's assertion errors onto the public
+// sentinels, flattening the core detail into the message (the same
+// idiom Sampler uses for ErrStaleSampler).
+func wrapAssert(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, core.ErrAssertFailed):
+		return fmt.Errorf("%w: %v", ErrAssertionFailed, err)
+	case errors.Is(err, core.ErrInvalidPair):
+		return fmt.Errorf("%w: %v", ErrInvalidQubit, err)
+	}
+	return err
+}
+
 // AssertClassical checks that qubit q reads `value` with probability at
 // least 1-tol — the statistical-assertion debugging workflow the paper
 // motivates.
@@ -491,7 +507,7 @@ func (s *Simulator) AssertClassical(q, value int, tol float64) error {
 	if err != nil {
 		return err
 	}
-	return be.AssertClassical(q, value, tol)
+	return wrapAssert(be.AssertClassical(q, value, tol))
 }
 
 // AssertSuperposition checks that qubit q is in an approximately
@@ -507,7 +523,7 @@ func (s *Simulator) AssertSuperposition(q int, tol float64) error {
 	if err != nil {
 		return err
 	}
-	return be.AssertSuperposition(q, tol)
+	return wrapAssert(be.AssertSuperposition(q, tol))
 }
 
 // AssertProduct checks that qubits a and b are approximately
@@ -527,7 +543,7 @@ func (s *Simulator) AssertProduct(a, b int, tol float64) error {
 	if err != nil {
 		return err
 	}
-	return be.AssertProduct(a, b, tol)
+	return wrapAssert(be.AssertProduct(a, b, tol))
 }
 
 // Measurements returns the outcomes of every measurement gate executed
