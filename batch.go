@@ -228,6 +228,10 @@ func (s *Simulator) runBatchCircuits(ctx context.Context, circuits []*circuit.Ci
 	if err != nil {
 		return nil, nil, err
 	}
+	if _, dist := be.(*distBackend); dist {
+		return nil, nil, fmt.Errorf("%w: batched execution (RunBatch, Gradient) is in-process only; the %s transport cannot run variant batches — build the simulator without WithTransport",
+			ErrUnsupportedOp, TransportTCP)
+	}
 	cb, ok := be.(compressedBackend)
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: batched execution requires the compressed backend", ErrUnsupportedOp)

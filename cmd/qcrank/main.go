@@ -1,0 +1,34 @@
+// Command qcrank serves one rank of a distributed simulation: the TCP
+// transport (qcsim.WithTransport) spawns one qcrank per rank, each
+// child connecting back to the coordinator, meshing with its peers,
+// executing its slice of the compressed state, and shipping the result
+// home. It can also be launched by hand on other hosts:
+//
+//	qcrank -coord 10.0.0.5:7777
+//
+// against a coordinator configured to wait for external workers. The
+// process exits 0 when its rank completed, non-zero on failure
+// (including a peer rank dying mid-run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qcsim"
+)
+
+func main() {
+	coord := flag.String("coord", os.Getenv("QCSIM_COORD_ADDR"),
+		"coordinator control address (host:port); defaults to $QCSIM_COORD_ADDR")
+	flag.Parse()
+	if *coord == "" {
+		fmt.Fprintln(os.Stderr, "qcrank: no coordinator address (-coord or $QCSIM_COORD_ADDR)")
+		os.Exit(2)
+	}
+	if err := qcsim.RankWorker(*coord); err != nil {
+		fmt.Fprintln(os.Stderr, "qcrank:", err)
+		os.Exit(1)
+	}
+}

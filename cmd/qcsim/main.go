@@ -55,8 +55,18 @@ func main() {
 		sweeps      = flag.Bool("sweeps", true, "batch runs of block-local gates into one codec pass per block (off reproduces the paper's one-pass-per-gate cost model)")
 		batchK      = flag.Int("batch", 0, "run a K-variant lockstep batch of the parameterized ansatz (-circuit qaoa or vqe), one seeded binding per variant")
 		grad        = flag.Bool("grad", false, "compute the parameter-shift MAXCUT gradient of the QAOA ansatz (-circuit qaoa) in one lockstep batch")
+		transport   = flag.String("transport", "inprocess", "rank runtime: inprocess (goroutine ranks) or tcp (one worker process per rank)")
+		workerCmd   = flag.String("worker-bin", "", "worker binary the tcp transport spawns per rank (default: this binary re-executed in worker mode)")
+		rankWorker  = flag.Bool("rank-worker", false, "serve as a spawned tcp-transport rank worker (internal; reads $QCSIM_COORD_ADDR) and exit")
 	)
 	flag.Parse()
+
+	if *rankWorker {
+		if err := qcsim.RankWorker(os.Getenv("QCSIM_COORD_ADDR")); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	variational := *grad || *batchK > 0
 	var cir *circuit.Circuit
@@ -135,6 +145,20 @@ func main() {
 	}
 	if *spillDir != "" || *spillRAM > 0 {
 		opts = append(opts, qcsim.WithSpill(*spillDir, *spillRAM))
+	}
+	if *transport != "" && *transport != qcsim.TransportInProcess {
+		opts = append(opts, qcsim.WithTransport(*transport))
+		argv := []string{*workerCmd}
+		if *workerCmd == "" {
+			// Self-host the workers: re-execute this binary in its
+			// hidden worker mode, so a tcp run needs no second install.
+			exe, err := os.Executable()
+			if err != nil {
+				fail(err)
+			}
+			argv = []string{exe, "-rank-worker"}
+		}
+		opts = append(opts, qcsim.WithWorkerCommand(argv...))
 	}
 	sim, err := qcsim.New(cir.N, opts...)
 	if err != nil {

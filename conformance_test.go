@@ -4,11 +4,27 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
 	"testing"
 
 	"qcsim/circuit"
 	"qcsim/internal/quantum"
 )
+
+// TestMain doubles as the TCP-transport worker binary: the transport
+// conformance tests spawn copies of this test binary as rank workers,
+// and the env marker routes those copies into RankWorker before any
+// test runs.
+func TestMain(m *testing.M) {
+	if os.Getenv("QCSIM_TCP_WORKER") == "1" {
+		if err := RankWorker(os.Getenv("QCSIM_COORD_ADDR")); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // Cross-backend conformance: the compressed engine, the MPS engine,
 // and the dense quantum.State reference are three independent
@@ -185,6 +201,132 @@ func TestConformanceAmplitudesAndExpectations(t *testing.T) {
 
 func cAbs(v complex128) float64 {
 	return math.Hypot(real(v), imag(v))
+}
+
+// tcpWorkerArgv marks the environment so spawned copies of this test
+// binary become rank workers, and returns the argv to spawn them with.
+func tcpWorkerArgv(t *testing.T) []string {
+	t.Helper()
+	t.Setenv("QCSIM_TCP_WORKER", "1")
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	return []string{exe}
+}
+
+// TestConformanceTransports runs every conformance circuit on the
+// in-process transport and on loopback TCP (real worker processes, 2
+// and 4 ranks) and requires byte-identical results: amplitudes and the
+// fidelity ledger compared at the float64-bit level, the deterministic
+// stats counters exactly, and the seeded sample stream draw for draw.
+func TestConformanceTransports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const (
+		seed      = int64(7)
+		blockAmps = 16
+		shots     = 128
+	)
+	argv := tcpWorkerArgv(t)
+	for _, tc := range conformanceTable() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, ranks := range []int{2, 4} {
+				t.Run(fmt.Sprintf("r%d", ranks), func(t *testing.T) {
+					cir := tc.build()
+					// Workers pinned to 1: amplitudes are worker-count
+					// independent, but the cache counters this test
+					// compares exactly are not.
+					geom := []Option{
+						WithRanks(ranks), WithBlockAmps(blockAmps),
+						WithWorkers(1), WithCache(8), WithSeed(seed),
+					}
+					ref, err := New(tc.qubits, geom...)
+					if err != nil {
+						t.Fatalf("in-process sim: %v", err)
+					}
+					defer ref.Close()
+					sim, err := New(tc.qubits, append(geom,
+						WithTransport(TransportTCP), WithWorkerCommand(argv...))...)
+					if err != nil {
+						t.Fatalf("tcp sim: %v", err)
+					}
+					defer sim.Close()
+					if got := sim.Transport(); got != TransportTCP {
+						t.Fatalf("Transport() = %q, want %q", got, TransportTCP)
+					}
+
+					refRes, err := ref.Run(context.Background(), cir)
+					if err != nil {
+						t.Fatalf("in-process run: %v", err)
+					}
+					tcpRes, err := sim.Run(context.Background(), cir)
+					if err != nil {
+						t.Fatalf("tcp run: %v", err)
+					}
+
+					refAmps, err := ref.FullState()
+					if err != nil {
+						t.Fatal(err)
+					}
+					tcpAmps, err := sim.FullState()
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range refAmps {
+						if math.Float64bits(real(refAmps[i])) != math.Float64bits(real(tcpAmps[i])) ||
+							math.Float64bits(imag(refAmps[i])) != math.Float64bits(imag(tcpAmps[i])) {
+							t.Fatalf("amplitude %d: in-process %v, tcp %v", i, refAmps[i], tcpAmps[i])
+						}
+					}
+					if math.Float64bits(refRes.FidelityLowerBound) != math.Float64bits(tcpRes.FidelityLowerBound) {
+						t.Errorf("ledger: in-process %v, tcp %v", refRes.FidelityLowerBound, tcpRes.FidelityLowerBound)
+					}
+					if refRes.Gates != tcpRes.Gates {
+						t.Errorf("gates: in-process %d, tcp %d", refRes.Gates, tcpRes.Gates)
+					}
+					if ref.BytesMoved() != sim.BytesMoved() {
+						t.Errorf("bytes moved: in-process %d, tcp %d", ref.BytesMoved(), sim.BytesMoved())
+					}
+					rs, ts := refRes.Stats, tcpRes.Stats
+					counters := []struct {
+						name string
+						w, g int64
+					}{
+						{"Gates", int64(rs.Gates), int64(ts.Gates)},
+						{"Sweeps", int64(rs.Sweeps), int64(ts.Sweeps)},
+						{"SweepGates", int64(rs.SweepGates), int64(ts.SweepGates)},
+						{"CompressCalls", int64(rs.CompressCalls), int64(ts.CompressCalls)},
+						{"DecompressCalls", int64(rs.DecompressCalls), int64(ts.DecompressCalls)},
+						{"CacheLookups", int64(rs.CacheLookups), int64(ts.CacheLookups)},
+						{"CacheHits", int64(rs.CacheHits), int64(ts.CacheHits)},
+						{"Escalations", int64(rs.Escalations), int64(ts.Escalations)},
+						{"FinalLevel", int64(rs.FinalLevel), int64(ts.FinalLevel)},
+					}
+					for _, c := range counters {
+						if c.w != c.g {
+							t.Errorf("Stats.%s: in-process %d, tcp %d", c.name, c.w, c.g)
+						}
+					}
+
+					refDraws, err := ref.Sample(shots)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tcpDraws, err := sim.Sample(shots)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range refDraws {
+						if refDraws[i] != tcpDraws[i] {
+							t.Fatalf("sample %d: in-process %d, tcp %d", i, refDraws[i], tcpDraws[i])
+						}
+					}
+				})
+			}
+		})
+	}
 }
 
 // TestConformanceSampleDistributions checks the per-qubit marginals of

@@ -229,10 +229,14 @@
 // implementation. The simulator engine lives in internal/core; the
 // compressor suite (the paper's Solutions A-D plus SZ/ZFP/FPZIP-model
 // comparators) in internal/compress/...; circuit representation and the
-// dense reference simulator in internal/quantum; the SPMD rank runtime
-// in internal/mpi; the experiment harness that regenerates every
-// table and figure of the paper in internal/harness; and the qcserve
-// multi-tenant serving subsystem in internal/server.
+// dense reference simulator in internal/quantum; the SPMD rank
+// runtime in internal/mpi (the transport contract, its in-process
+// goroutine implementation, and the real-process TCP transport in
+// internal/mpi/tcpnet); the distributed-run orchestration
+// (coordinator, workers, wire protocol) in internal/distrib; the
+// experiment harness that regenerates every table and figure of the
+// paper in internal/harness; and the qcserve multi-tenant serving
+// subsystem in internal/server.
 //
 // # Static analysis
 //
@@ -257,6 +261,52 @@
 // pool, each worker owning a private scratch-buffer pair (Eq. 8).
 // Results — amplitudes, measurement outcomes, and the Eq. 11 fidelity
 // ledger — are bit-identical for every worker count.
+//
+// # Distribution
+//
+// The rank runtime is a seam, not a binding: every collective the
+// engine issues goes through the internal mpi.Comm contract, and
+// WithTransport selects who implements it. TransportInProcess (the
+// default) runs ranks as goroutines exchanging slices in memory.
+// TransportTCP runs every rank as a real OS process, meshed pairwise
+// over TCP, behind the same contract:
+//
+//	sim, err := qcsim.New(16,
+//		qcsim.WithRanks(4),
+//		qcsim.WithTransport(qcsim.TransportTCP),
+//	)
+//
+// Each Run then spawns one worker process per rank (the qcrank
+// command by default; WithWorkerCommand overrides the argv, and
+// cmd/qcsim re-executes itself), ships each worker the job spec plus
+// that rank's compressed blocks, lets the workers execute the circuit
+// in lockstep over their TCP mesh, and merges the per-rank deltas
+// back into this simulator. For a single Run on a fresh state the
+// result is bit-identical to the in-process transport — amplitudes,
+// the fidelity ledger, measurement outcomes, the deterministic Stats
+// counters, and the Table 2 communication volume (BytesMoved) all
+// match exactly, which is what the cross-transport conformance suite
+// pins.
+//
+// Failure semantics: a worker that dies mid-run tears its mesh links
+// down, the failure cascades, every surviving rank unblocks from
+// whatever collective it was in, and Run returns an error on which
+// errors.Is(err, ErrRankDied) holds — within a bounded drain window,
+// never a deadlock. On any failure (including cancellation) the
+// coordinator's state is untouched: deltas are only applied after
+// every rank reports success, so a failed distributed Run keeps the
+// pre-run state, where the in-process transport keeps the completed
+// gate prefix.
+//
+// Documented divergences, both consequences of workers being fresh
+// processes: the measurement and noise rng streams restart at the
+// configured seed on every distributed Run (a sequence of Runs with
+// measurements can draw differently than the same sequence in
+// process), and per-gate progress callbacks (RunProgress) are not
+// delivered across the process boundary. RunBatch and Gradient are
+// in-process only (ErrUnsupportedOp), and the mps backend does not
+// partition across ranks at all, so WithTransport(TransportTCP)
+// combined with BackendMPS is an ErrBadConfig at construction.
 //
 // # Building and testing
 //

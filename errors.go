@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"qcsim/internal/blockstore"
+	"qcsim/internal/mpi"
 	"qcsim/internal/mps"
 )
 
@@ -86,6 +87,22 @@ var (
 // rejected operation; it is the same sentinel internal/mps uses, so
 // errors.Is works across the facade boundary.
 var ErrUnsupportedOp = mps.ErrUnsupportedOp
+
+// ErrRankDied reports a distributed rank dying mid-run on the TCP
+// transport (WithTransport): a worker process crashed, was killed, or
+// lost its connection, and the failure cascaded across the rank mesh —
+// every surviving rank unblocked with this sentinel in its error chain
+// instead of deadlocking in a collective. The coordinator's state is
+// untouched (deltas merge only after every rank succeeds), so the run
+// can simply be retried:
+//
+//	if _, err := sim.Run(ctx, c); errors.Is(err, qcsim.ErrRankDied) {
+//		// respawn workers / retry the run; the pre-run state is intact
+//	}
+//
+// It is the same sentinel internal/mpi uses, so errors.Is works across
+// the facade boundary.
+var ErrRankDied = mpi.ErrRankDied
 
 // ErrSpill reports an I/O failure in the disk spill tier enabled by
 // WithSpill: the spill directory could not host the per-rank spill

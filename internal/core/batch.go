@@ -221,7 +221,7 @@ func runBatchLockstep(sims []*Simulator, circuits []*quantum.Circuit, ctl RunCon
 	rankErrs := make([]error, s0.cfg.Ranks)
 	var abortErr error
 	var executed int
-	comms, err := mpi.Run(s0.cfg.Ranks, func(comm *mpi.Comm) {
+	comms, err := s0.launcher().Launch(s0.cfg.Ranks, func(comm mpi.Comm) {
 		r := comm.Rank()
 		ran := 0
 		for _, sw := range plan {
@@ -280,6 +280,9 @@ func runBatchLockstep(sims []*Simulator, circuits []*quantum.Circuit, ctl RunCon
 	// One set of comms served the whole batch; the communication time
 	// and traffic are charged to variant 0.
 	for i, comm := range comms {
+		if comm == nil {
+			continue
+		}
 		s0.ranks[i].stats.CommTime += comm.CommTime()
 		s0.bytesMoved += comm.BytesMoved()
 	}
@@ -308,7 +311,7 @@ func runBatchLockstep(sims []*Simulator, circuits []*quantum.Circuit, ctl RunCon
 
 // batchGateRank executes one non-block-local gate for all K variants on
 // rank r, dispatching on the (shared) target segment.
-func batchGateRank(comm *mpi.Comm, sims []*Simulator, cs []*quantum.Circuit, r, gi int) error {
+func batchGateRank(comm mpi.Comm, sims []*Simulator, cs []*quantum.Circuit, r, gi int) error {
 	s0 := sims[0]
 	g0 := cs[0].Gates[gi]
 	offCtrl, blkCtrl, rankCtrl := s0.splitControls(g0.Controls)

@@ -24,6 +24,7 @@ import (
 	"qcsim/internal/compress"
 	"qcsim/internal/compress/lossless"
 	"qcsim/internal/compress/xortrunc"
+	"qcsim/internal/mpi"
 )
 
 // DefaultErrorLevels are the paper's five pointwise relative error
@@ -91,6 +92,13 @@ type Config struct {
 	// trades disk for fidelity instead of relaxing the error bound.
 	// Negative is invalid.
 	SpillRAMBudget int64
+	// Launcher runs the SPMD rank bodies. nil selects the in-process
+	// goroutine runtime (mpi.Goroutines), where every rank is a
+	// goroutine of this process. A distributed transport installs a
+	// launcher that runs exactly this process's rank and returns nil
+	// Comm entries for remote ranks — their accounting travels back
+	// out of band (see InstallRank / ExportDelta / ApplyDeltas).
+	Launcher mpi.Launcher
 	// DisableSweeps turns off the sweep scheduler, which by default
 	// batches maximal runs of consecutive block-local gates (target and
 	// controls all in the offset segment) into one decompress →

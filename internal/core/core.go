@@ -197,6 +197,15 @@ func (s *Simulator) Close() error {
 	return firstErr
 }
 
+// launcher returns the transport that runs the SPMD rank bodies: the
+// configured one, defaulting to the in-process goroutine runtime.
+func (s *Simulator) launcher() mpi.Launcher {
+	if s.cfg.Launcher != nil {
+		return s.cfg.Launcher
+	}
+	return mpi.Goroutines{}
+}
+
 // blockAmps returns the amplitudes per block.
 func (s *Simulator) blockAmps() int { return 1 << uint(s.offsetBits) }
 
@@ -609,10 +618,10 @@ func (s *Simulator) RunControlled(c *quantum.Circuit, ctl RunControl) error {
 	measured := make([][]int, s.cfg.Ranks)
 	rankErrs := make([]error, s.cfg.Ranks)
 	// abortErr and executed are written only by the rank-0 goroutine and
-	// read after mpi.Run's WaitGroup establishes happens-before.
+	// read after the launcher's completion establishes happens-before.
 	var abortErr error
 	var executed int
-	comms, err := mpi.Run(s.cfg.Ranks, func(comm *mpi.Comm) {
+	comms, err := s.launcher().Launch(s.cfg.Ranks, func(comm mpi.Comm) {
 		rs := s.ranks[comm.Rank()]
 		ran := 0
 		for _, sw := range plan {
@@ -699,6 +708,9 @@ func (s *Simulator) RunControlled(c *quantum.Circuit, ctl RunControl) error {
 		return err
 	}
 	for i, comm := range comms {
+		if comm == nil {
+			continue // remote rank: its accounting arrives via ApplyDeltas
+		}
 		s.ranks[i].stats.CommTime += comm.CommTime()
 		s.bytesMoved += comm.BytesMoved()
 	}
@@ -746,7 +758,7 @@ func (s *Simulator) splitControls(controls []int) (offMask uint64, blkMask, rank
 
 // applyGateRank executes one unitary gate on this rank's blocks,
 // dispatching on the target qubit's index segment (§3.3).
-func (s *Simulator) applyGateRank(comm *mpi.Comm, rs *rankState, g quantum.Gate, gi int) error {
+func (s *Simulator) applyGateRank(comm mpi.Comm, rs *rankState, g quantum.Gate, gi int) error {
 	offCtrl, blkCtrl, rankCtrl := s.splitControls(g.Controls)
 	if rs.id&rankCtrl != rankCtrl {
 		// §3.3: control in the rank segment is |0⟩ here — the whole
@@ -925,7 +937,7 @@ func (s *Simulator) applyCrossBlock(rs *rankState, g quantum.Gate, gi int, offCt
 // alive for the remaining blocks (sending whatever is in scratch),
 // skips the now-pointless codec and compute work, and reports the
 // first error at the gate boundary, where the barrier stops all ranks.
-func (s *Simulator) applyCrossRank(comm *mpi.Comm, rs *rankState, g quantum.Gate, gi int, offCtrl uint64, blkCtrl int) error {
+func (s *Simulator) applyCrossRank(comm mpi.Comm, rs *rankState, g quantum.Gate, gi int, offCtrl uint64, blkCtrl int) error {
 	tr := 1 << uint(g.Target-s.offsetBits-s.blockBits)
 	peer := rs.id ^ tr
 	lowSide := rs.id&tr == 0 // this rank holds the target-bit-0 half

@@ -24,7 +24,7 @@ import (
 // pre-measurement state stays fully inspectable. A failure in the
 // collapse phase is returned to RunControlled, whose sweep error
 // barrier stops all ranks at the gate boundary.
-func (s *Simulator) measureRank(comm *mpi.Comm, rs *rankState, q, gi int) (int, error) {
+func (s *Simulator) measureRank(comm mpi.Comm, rs *rankState, q, gi int) (int, error) {
 	qInOffset := q < s.offsetBits
 	qInBlock := !qInOffset && q < s.offsetBits+s.blockBits
 	var offMask uint64

@@ -46,7 +46,7 @@ func (s *Simulator) noiseActive() bool {
 // worker, which is what keeps the trajectory independent of Workers. A
 // codec failure propagates to RunControlled's sweep error barrier like
 // any other gate error.
-func (s *Simulator) applyNoiseRank(comm *mpi.Comm, rs *rankState, g quantum.Gate, gi int) error {
+func (s *Simulator) applyNoiseRank(comm mpi.Comm, rs *rankState, g quantum.Gate, gi int) error {
 	u := rs.rng.Float64()
 	pick := rs.rng.Intn(3)
 	if u >= s.noise.Prob {

@@ -1,0 +1,273 @@
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qcsim/internal/core"
+	"qcsim/internal/mpi"
+	"qcsim/internal/quantum"
+)
+
+// TestMain doubles as the worker executable: a spawned copy of this
+// test binary sees the env marker before any test runs and becomes a
+// distributed rank instead.
+func TestMain(m *testing.M) {
+	if os.Getenv("QCSIM_DISTRIB_WORKER") == "1" {
+		if err := Worker(os.Getenv(EnvCoordAddr)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// selfWorker returns the argv that re-execs this test binary as a
+// worker, and marks the environment so the child takes the TestMain
+// worker branch.
+func selfWorker(t *testing.T) []string {
+	t.Helper()
+	t.Setenv("QCSIM_DISTRIB_WORKER", "1")
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	return []string{exe}
+}
+
+func parseCircuit(t *testing.T, text string) *quantum.Circuit {
+	t.Helper()
+	c, err := quantum.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse circuit: %v", err)
+	}
+	return c
+}
+
+// conformanceCircuit mixes local, cross-block, cross-rank (qubit 7 is
+// the rank bit at this geometry), controlled, rotation, and
+// measurement gates.
+const conformanceCircuit = `qubits 8
+h 0
+h 7
+cx 0 7
+rz 3 0.7853981633974483
+cx 3 5
+h 5
+cp 0 6 1.1
+measure 2
+x 1
+cx 7 1
+measure 7
+`
+
+// TestRunMatchesInProcess executes the same circuit on the goroutine
+// transport and over real worker processes and requires bit-identical
+// state, ledger, measurements, and deterministic accounting.
+func TestRunMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		// Workers is pinned to 1: amplitudes are bit-identical for any
+		// worker count, but the cache-hit counters depend on worker-pool
+		// timing, and this test compares them exactly.
+		{"lossless", core.Config{Qubits: 8, Ranks: 2, Workers: 1, BlockAmps: 16, CacheLines: 8, Seed: 42}},
+		{"budgeted-lossy", core.Config{Qubits: 8, Ranks: 4, Workers: 1, BlockAmps: 8, MemoryBudget: 1024, Seed: 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			circ := parseCircuit(t, conformanceCircuit)
+
+			ref, err := core.New(tc.cfg)
+			if err != nil {
+				t.Fatalf("reference sim: %v", err)
+			}
+			defer ref.Close()
+			if err := ref.RunControlled(circ, core.RunControl{}); err != nil {
+				t.Fatalf("in-process run: %v", err)
+			}
+
+			sim, err := core.New(tc.cfg)
+			if err != nil {
+				t.Fatalf("coordinator sim: %v", err)
+			}
+			defer sim.Close()
+			opt := Options{WorkerCommand: selfWorker(t), JobTimeout: 2 * time.Minute}
+			if err := Run(sim, tc.cfg, 0, circ, opt, nil); err != nil {
+				t.Fatalf("distributed run: %v", err)
+			}
+
+			wantState, err := ref.FullState()
+			if err != nil {
+				t.Fatalf("reference state: %v", err)
+			}
+			gotState, err := sim.FullState()
+			if err != nil {
+				t.Fatalf("distributed state: %v", err)
+			}
+			for i := range wantState {
+				if math.Float64bits(real(wantState[i])) != math.Float64bits(real(gotState[i])) ||
+					math.Float64bits(imag(wantState[i])) != math.Float64bits(imag(gotState[i])) {
+					t.Fatalf("amplitude %d differs: in-process %v, distributed %v", i, wantState[i], gotState[i])
+				}
+			}
+			if w, g := ref.FidelityLowerBound(), sim.FidelityLowerBound(); math.Float64bits(w) != math.Float64bits(g) {
+				t.Errorf("ledger differs: in-process %v, distributed %v", w, g)
+			}
+			if w, g := ref.Measurements(), sim.Measurements(); fmt.Sprint(w) != fmt.Sprint(g) {
+				t.Errorf("measurements differ: in-process %v, distributed %v", w, g)
+			}
+			if w, g := ref.GatesRun(), sim.GatesRun(); w != g {
+				t.Errorf("gates run differ: in-process %d, distributed %d", w, g)
+			}
+			if w, g := ref.BytesMoved(), sim.BytesMoved(); w != g {
+				t.Errorf("bytes moved differ: in-process %d, distributed %d", w, g)
+			}
+			ws, gs := ref.Stats(), sim.Stats()
+			deterministic := []struct {
+				name string
+				w, g int64
+			}{
+				{"Gates", int64(ws.Gates), int64(gs.Gates)},
+				{"Sweeps", int64(ws.Sweeps), int64(gs.Sweeps)},
+				{"SweepGates", int64(ws.SweepGates), int64(gs.SweepGates)},
+				{"CompressCalls", int64(ws.CompressCalls), int64(gs.CompressCalls)},
+				{"DecompressCalls", int64(ws.DecompressCalls), int64(gs.DecompressCalls)},
+				{"CacheLookups", int64(ws.CacheLookups), int64(gs.CacheLookups)},
+				{"CacheHits", int64(ws.CacheHits), int64(gs.CacheHits)},
+				{"Escalations", int64(ws.Escalations), int64(gs.Escalations)},
+				{"FinalLevel", int64(ws.FinalLevel), int64(gs.FinalLevel)},
+			}
+			for _, d := range deterministic {
+				if d.w != d.g {
+					t.Errorf("Stats.%s differs: in-process %d, distributed %d", d.name, d.w, d.g)
+				}
+			}
+		})
+	}
+}
+
+// slowCircuit is sweep-proof pacing material: with DisableSweeps every
+// gate runs its own error-barrier collective, keeping all ranks inside
+// the mesh for the whole run.
+func slowCircuit(gates int) string {
+	var b strings.Builder
+	b.WriteString("qubits 6\n")
+	for i := 0; i < gates; i++ {
+		b.WriteString("h 0\n")
+	}
+	return b.String()
+}
+
+// TestWorkerKilledMidRun SIGKILLs one worker while the job is in
+// flight and requires the coordinator to surface mpi.ErrRankDied
+// within a bound, with its own state untouched.
+func TestWorkerKilledMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	cfg := core.Config{Qubits: 6, Ranks: 2, Workers: 1, BlockAmps: 8, Seed: 1, DisableSweeps: true}
+	circ := parseCircuit(t, slowCircuit(400))
+	sim, err := core.New(cfg)
+	if err != nil {
+		t.Fatalf("coordinator sim: %v", err)
+	}
+	defer sim.Close()
+
+	var mu sync.Mutex
+	var victims []*exec.Cmd
+	opt := Options{
+		WorkerCommand: selfWorker(t),
+		JobTimeout:    time.Minute,
+		GateDelay:     20 * time.Millisecond,
+		onSpawn: func(idx int, cmd *exec.Cmd) {
+			mu.Lock()
+			victims = append(victims, cmd)
+			mu.Unlock()
+		},
+	}
+	killer := time.AfterFunc(500*time.Millisecond, func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(victims) > 1 && victims[1].Process != nil {
+			victims[1].Process.Kill()
+		}
+	})
+	defer killer.Stop()
+
+	start := time.Now()
+	err = Run(sim, cfg, 0, circ, opt, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("run succeeded despite a killed worker")
+	}
+	if !errors.Is(err, mpi.ErrRankDied) {
+		t.Fatalf("error %v does not wrap mpi.ErrRankDied", err)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("failure took %v to surface", elapsed)
+	}
+	if n := sim.GatesRun(); n != 0 {
+		t.Fatalf("failed distributed run mutated coordinator state: %d gates recorded", n)
+	}
+}
+
+// TestAbortKeepsPreRunState cancels via the poll hook mid-run: the
+// abort error must come back wrapped and the coordinator state must
+// stay pre-run.
+func TestAbortKeepsPreRunState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	cfg := core.Config{Qubits: 6, Ranks: 2, Workers: 1, BlockAmps: 8, Seed: 1, DisableSweeps: true}
+	circ := parseCircuit(t, slowCircuit(400))
+	sim, err := core.New(cfg)
+	if err != nil {
+		t.Fatalf("coordinator sim: %v", err)
+	}
+	defer sim.Close()
+
+	cause := errors.New("client gone")
+	start := time.Now()
+	var pollMu sync.Mutex
+	aborting := false
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		pollMu.Lock()
+		aborting = true
+		pollMu.Unlock()
+	}()
+	err = Run(sim, cfg, 0, circ, Options{
+		WorkerCommand: selfWorker(t),
+		JobTimeout:    time.Minute,
+		GateDelay:     20 * time.Millisecond,
+	}, func() error {
+		pollMu.Lock()
+		defer pollMu.Unlock()
+		if aborting {
+			return cause
+		}
+		return nil
+	})
+	if !errors.Is(err, cause) {
+		t.Fatalf("error %v does not wrap the abort cause", err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatalf("abort took %v", time.Since(start))
+	}
+	if n := sim.GatesRun(); n != 0 {
+		t.Fatalf("aborted distributed run mutated coordinator state: %d gates recorded", n)
+	}
+}

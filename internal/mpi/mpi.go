@@ -1,7 +1,8 @@
 // Package mpi is the repository's stand-in for the Message Passing
-// Interface runtime the paper uses on Theta: an in-process SPMD runtime
-// where each "rank" is a goroutine and the collectives (pairwise
-// exchange, barrier, allreduce, broadcast) run over channels.
+// Interface runtime the paper uses on Theta: an SPMD rank runtime whose
+// default transport runs every "rank" as a goroutine and the
+// collectives (pairwise exchange, barrier, allreduce, broadcast) over
+// channels.
 //
 // The simulator's index arithmetic — which rank owns which amplitudes,
 // when whole blocks must be exchanged between rank pairs (paper Fig. 3) —
@@ -9,15 +10,87 @@
 // paper executes here, just inside one address space. Each Comm tracks
 // the wall-clock time it spends blocked in communication, which feeds the
 // Table 2 time breakdown.
+//
+// Comm is an interface so the engine can run unchanged over other
+// transports: qcsim/internal/mpi/tcpnet implements the same contract
+// with real processes as ranks over TCP. Every implementation must
+// preserve two invariants the engine depends on:
+//
+//   - Reduction order: AllreduceSum adds the per-rank contributions in
+//     rank order 0..Size-1 (float addition is not associative; a
+//     transport that reduced in a different order would break the
+//     repo's cross-geometry bit-identity guarantee).
+//   - Failure semantics: when a rank dies mid-collective, every peer
+//     blocked on it must unblock by panicking with an error wrapping
+//     ErrRankDied — never deadlock. The runtime recovers rank panics
+//     and returns them from Launch.
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
 
-// World owns the shared state of one SPMD execution.
+// ErrRankDied is the typed root of every abort a transport raises when
+// a peer rank dies mid-collective. Rank bodies observe it as a panic
+// value (an error wrapping this sentinel); Launch recovers those and
+// returns them, so callers branch with errors.Is(err, mpi.ErrRankDied).
+var ErrRankDied = errors.New("mpi: peer rank died")
+
+// Comm is one rank's handle on an SPMD execution: identity, the
+// pairwise exchange primitive, the collectives, and the communication
+// accounting. All collective calls must be made by every rank in the
+// same order (standard MPI discipline); a mismatch deadlocks on a
+// healthy world and aborts on a dying one.
+type Comm interface {
+	// Rank returns this rank's id in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// SendRecv exchanges float64 payloads with peer: send is delivered
+	// to peer and the peer's payload is copied into recv (which must
+	// have the peer's send length — a mismatch panics). Both sides must
+	// call SendRecv with each other as peer. peer == Rank() is a local
+	// exchange with the same length contract.
+	SendRecv(peer int, send, recv []float64)
+	// Barrier blocks until every rank reaches it.
+	Barrier()
+	// AllreduceSum returns the sum of x across all ranks, added in rank
+	// order. Every rank must call it.
+	AllreduceSum(x float64) float64
+	// AllreduceMax returns the max of x across all ranks.
+	AllreduceMax(x uint64) uint64
+	// Bcast distributes root's x to every rank and returns it.
+	Bcast(root int, x float64) float64
+	// CommTime returns the cumulative wall-clock time this rank has
+	// spent blocked in communication calls.
+	CommTime() time.Duration
+	// BytesMoved returns the cumulative SendRecv payload volume this
+	// rank has sent (self-exchanges included; collective control
+	// traffic is not counted, matching the in-process transport).
+	BytesMoved() int64
+}
+
+// Launcher runs one SPMD execution. The default (Goroutines) runs all
+// ranks as goroutines in this process and returns every rank's Comm; a
+// distributed transport runs only the local process's rank and returns
+// nil entries for remote ranks, whose accounting travels back out of
+// band. Callers must skip nil Comms when harvesting accounting.
+type Launcher interface {
+	Launch(size int, body func(Comm)) ([]Comm, error)
+}
+
+// Goroutines is the default in-process Launcher: Run.
+type Goroutines struct{}
+
+// Launch implements Launcher via Run.
+func (Goroutines) Launch(size int, body func(Comm)) ([]Comm, error) {
+	return Run(size, body)
+}
+
+// World owns the shared state of one in-process SPMD execution.
 type World struct {
 	size    int
 	mailbox []chan []float64 // mailbox[to*size+from]
@@ -63,8 +136,8 @@ func (w *World) abort() {
 	w.barrier.abort()
 }
 
-// Comm is one rank's handle on the World.
-type Comm struct {
+// worldComm is the in-process Comm: one rank's handle on a World.
+type worldComm struct {
 	w    *World
 	rank int
 
@@ -73,11 +146,12 @@ type Comm struct {
 	bytes    int64
 }
 
-// Run executes body on size ranks concurrently and waits for all of them.
-// size must be a power of two ≥ 1 (the simulator's state partitioning
-// requires it). A panic in any rank is recovered and returned as an
-// error after all ranks finish or unblock.
-func Run(size int, body func(*Comm)) ([]*Comm, error) {
+// Run executes body on size goroutine ranks concurrently and waits for
+// all of them. size must be a power of two ≥ 1 (the simulator's state
+// partitioning requires it). A panic in any rank is recovered and
+// returned as an error after all ranks finish or unblock; when several
+// ranks fail concurrently, the errors are joined so none is masked.
+func Run(size int, body func(Comm)) ([]Comm, error) {
 	if size < 1 || size&(size-1) != 0 {
 		return nil, fmt.Errorf("mpi: size %d is not a power of two", size)
 	}
@@ -94,56 +168,73 @@ func Run(size int, body func(*Comm)) ([]*Comm, error) {
 	for i := range w.mailbox {
 		w.mailbox[i] = make(chan []float64, 1)
 	}
-	comms := make([]*Comm, size)
+	comms := make([]Comm, size)
 	errs := make([]error, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
-		comms[r] = &Comm{w: w, rank: r}
+		c := &worldComm{w: w, rank: r}
+		comms[r] = c
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+					if perr, ok := p.(error); ok {
+						// Keep the chain: abort panics carry ErrRankDied.
+						errs[r] = fmt.Errorf("mpi: rank %d panicked: %w", r, perr)
+					} else {
+						errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+					}
 					// Unblock peers that may be waiting on this rank.
 					w.abort()
 				}
 			}()
-			body(comms[r])
+			body(c)
 		}(r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return comms, err
-		}
+	// Join every rank's failure: one rank's panic aborts the others
+	// mid-collective, and reporting only the lowest-ranked error used
+	// to mask concurrent root causes on higher ranks.
+	if err := errors.Join(errs...); err != nil {
+		return comms, err
 	}
 	if w.barrier.aborted() {
-		return comms, fmt.Errorf("mpi: barrier aborted")
+		// Defensive: abort() is only reachable from a rank panic today,
+		// so a recorded error always accompanies a broken barrier.
+		return comms, fmt.Errorf("mpi: barrier aborted: %w", ErrRankDied)
 	}
 	return comms, nil
 }
 
 // Rank returns this rank's id in [0, Size).
-func (c *Comm) Rank() int { return c.rank }
+func (c *worldComm) Rank() int { return c.rank }
 
 // Size returns the number of ranks.
-func (c *Comm) Size() int { return c.w.size }
+func (c *worldComm) Size() int { return c.w.size }
 
 // CommTime returns the cumulative wall-clock time this rank has spent
 // blocked in communication calls.
-func (c *Comm) CommTime() time.Duration { return c.commTime }
+func (c *worldComm) CommTime() time.Duration { return c.commTime }
 
 // BytesMoved returns the cumulative payload volume this rank has sent.
-func (c *Comm) BytesMoved() int64 { return c.bytes }
+func (c *worldComm) BytesMoved() int64 { return c.bytes }
 
-// SendRecv exchanges float64 payloads with peer: send is delivered to
-// peer and the peer's payload is copied into recv (which must have the
-// peer's send length). Both sides must call SendRecv with each other as
-// peer; mismatched pairings deadlock, as in MPI.
-func (c *Comm) SendRecv(peer int, send, recv []float64) {
+// SendRecv exchanges float64 payloads with peer. A self-exchange
+// (peer == rank) enforces the same length contract as the cross-rank
+// path and counts toward sends/bytes — the caller asked for a real
+// exchange and the transport merely short-circuited the wire, so the
+// Table 2 communication volume stays transport-independent.
+func (c *worldComm) SendRecv(peer int, send, recv []float64) {
+	if len(send) != len(recv) {
+		// The cross-rank path would catch a mismatch on delivery; check
+		// up front so the self-exchange cannot silently truncate.
+		panic(fmt.Sprintf("mpi: rank %d expected %d values from %d, got %d", c.rank, len(recv), peer, len(send)))
+	}
 	if peer == c.rank {
 		copy(recv, send)
+		c.sends++
+		c.bytes += int64(len(send) * 8)
 		return
 	}
 	start := time.Now()
@@ -155,13 +246,13 @@ func (c *Comm) SendRecv(peer int, send, recv []float64) {
 	select {
 	case c.w.mailbox[peer*c.w.size+c.rank] <- out:
 	case <-c.w.done:
-		panic("mpi: send aborted (peer rank died)")
+		panic(fmt.Errorf("mpi: send aborted: %w", ErrRankDied))
 	}
 	var in []float64
 	select {
 	case in = <-c.w.mailbox[c.rank*c.w.size+peer]:
 	case <-c.w.done:
-		panic("mpi: recv aborted (peer rank died)")
+		panic(fmt.Errorf("mpi: recv aborted: %w", ErrRankDied))
 	}
 	if len(in) != len(recv) {
 		panic(fmt.Sprintf("mpi: rank %d expected %d values from %d, got %d", c.rank, len(recv), peer, len(in)))
@@ -174,15 +265,15 @@ func (c *Comm) SendRecv(peer int, send, recv []float64) {
 }
 
 // Barrier blocks until every rank reaches it.
-func (c *Comm) Barrier() {
+func (c *worldComm) Barrier() {
 	start := time.Now()
 	c.w.barrier.await()
 	c.commTime += time.Since(start)
 }
 
-// AllreduceSum returns the sum of x across all ranks. Every rank must
-// call it.
-func (c *Comm) AllreduceSum(x float64) float64 {
+// AllreduceSum returns the sum of x across all ranks, added in rank
+// order. Every rank must call it.
+func (c *worldComm) AllreduceSum(x float64) float64 {
 	start := time.Now()
 	c.w.reduce[c.rank] = x
 	c.w.barrier.await()
@@ -196,7 +287,7 @@ func (c *Comm) AllreduceSum(x float64) float64 {
 }
 
 // AllreduceMax returns the max of x across all ranks.
-func (c *Comm) AllreduceMax(x uint64) uint64 {
+func (c *worldComm) AllreduceMax(x uint64) uint64 {
 	start := time.Now()
 	c.w.reduceI[c.rank] = x
 	c.w.barrier.await()
@@ -212,7 +303,7 @@ func (c *Comm) AllreduceMax(x uint64) uint64 {
 }
 
 // Bcast distributes root's x to every rank and returns it.
-func (c *Comm) Bcast(root int, x float64) float64 {
+func (c *worldComm) Bcast(root int, x float64) float64 {
 	start := time.Now()
 	if c.rank == root {
 		c.w.bcast[0] = x
@@ -245,7 +336,7 @@ func (b *barrier) await() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.broken {
-		panic("mpi: barrier aborted (peer rank died)")
+		panic(fmt.Errorf("mpi: barrier aborted: %w", ErrRankDied))
 	}
 	sense := b.sense
 	b.count++
@@ -259,7 +350,7 @@ func (b *barrier) await() {
 		b.cond.Wait()
 	}
 	if b.broken {
-		panic("mpi: barrier aborted (peer rank died)")
+		panic(fmt.Errorf("mpi: barrier aborted: %w", ErrRankDied))
 	}
 }
 

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"sync/atomic"
@@ -10,7 +11,7 @@ import (
 
 func TestRunSizeValidation(t *testing.T) {
 	for _, bad := range []int{0, -1, 3, 6, 12} {
-		if _, err := Run(bad, func(*Comm) {}); err == nil {
+		if _, err := Run(bad, func(Comm) {}); err == nil {
 			t.Fatalf("size %d accepted", bad)
 		}
 	}
@@ -18,7 +19,7 @@ func TestRunSizeValidation(t *testing.T) {
 
 func TestRankAndSize(t *testing.T) {
 	var seen [8]int32
-	_, err := Run(8, func(c *Comm) {
+	_, err := Run(8, func(c Comm) {
 		if c.Size() != 8 {
 			t.Errorf("Size = %d", c.Size())
 		}
@@ -35,7 +36,7 @@ func TestRankAndSize(t *testing.T) {
 }
 
 func TestSendRecvPairwise(t *testing.T) {
-	_, err := Run(4, func(c *Comm) {
+	_, err := Run(4, func(c Comm) {
 		peer := c.Rank() ^ 1
 		send := []float64{float64(c.Rank()), float64(c.Rank() * 10)}
 		recv := make([]float64, 2)
@@ -50,7 +51,7 @@ func TestSendRecvPairwise(t *testing.T) {
 }
 
 func TestSendRecvSelf(t *testing.T) {
-	_, err := Run(1, func(c *Comm) {
+	_, err := Run(1, func(c Comm) {
 		send := []float64{1, 2, 3}
 		recv := make([]float64, 3)
 		c.SendRecv(0, send, recv)
@@ -69,7 +70,7 @@ func TestSendRecvSelf(t *testing.T) {
 // senders at once — produces a wrong value (and a -race report).
 func TestSendRecvPoolNoCrossTalk(t *testing.T) {
 	const rounds, n = 200, 64
-	_, err := Run(4, func(c *Comm) {
+	_, err := Run(4, func(c Comm) {
 		peer := c.Rank() ^ 1
 		send := make([]float64, n)
 		recv := make([]float64, n)
@@ -98,7 +99,7 @@ func BenchmarkSendRecvAllocs(b *testing.B) {
 	payload := make([]float64, 4096)
 	b.SetBytes(int64(len(payload) * 8))
 	b.ReportAllocs()
-	_, err := Run(2, func(c *Comm) {
+	_, err := Run(2, func(c Comm) {
 		recv := make([]float64, len(payload))
 		for i := 0; i < b.N; i++ {
 			c.SendRecv(c.Rank()^1, payload, recv)
@@ -110,7 +111,7 @@ func BenchmarkSendRecvAllocs(b *testing.B) {
 }
 
 func TestSendRecvNoAliasing(t *testing.T) {
-	_, err := Run(2, func(c *Comm) {
+	_, err := Run(2, func(c Comm) {
 		send := []float64{float64(c.Rank())}
 		recv := make([]float64, 1)
 		c.SendRecv(c.Rank()^1, send, recv)
@@ -127,7 +128,7 @@ func TestSendRecvNoAliasing(t *testing.T) {
 
 func TestSendRecvManyRounds(t *testing.T) {
 	const rounds = 200
-	_, err := Run(8, func(c *Comm) {
+	_, err := Run(8, func(c Comm) {
 		recv := make([]float64, 1)
 		for i := 0; i < rounds; i++ {
 			peer := c.Rank() ^ (1 << (i % 3))
@@ -145,7 +146,7 @@ func TestSendRecvManyRounds(t *testing.T) {
 
 func TestBarrierOrdering(t *testing.T) {
 	var phase int32
-	_, err := Run(4, func(c *Comm) {
+	_, err := Run(4, func(c Comm) {
 		atomic.AddInt32(&phase, 1)
 		c.Barrier()
 		if atomic.LoadInt32(&phase) != 4 {
@@ -164,7 +165,7 @@ func TestBarrierOrdering(t *testing.T) {
 }
 
 func TestAllreduceSum(t *testing.T) {
-	_, err := Run(8, func(c *Comm) {
+	_, err := Run(8, func(c Comm) {
 		got := c.AllreduceSum(float64(c.Rank() + 1))
 		if got != 36 { // 1+2+...+8
 			t.Errorf("rank %d: sum %v", c.Rank(), got)
@@ -181,7 +182,7 @@ func TestAllreduceSum(t *testing.T) {
 }
 
 func TestAllreduceMax(t *testing.T) {
-	_, err := Run(4, func(c *Comm) {
+	_, err := Run(4, func(c Comm) {
 		got := c.AllreduceMax(uint64(c.Rank() * 7))
 		if got != 21 {
 			t.Errorf("rank %d: max %v", c.Rank(), got)
@@ -193,7 +194,7 @@ func TestAllreduceMax(t *testing.T) {
 }
 
 func TestBcast(t *testing.T) {
-	_, err := Run(4, func(c *Comm) {
+	_, err := Run(4, func(c Comm) {
 		v := c.Bcast(2, float64(c.Rank())*math.Pi)
 		if v != 2*math.Pi {
 			t.Errorf("rank %d: bcast %v", c.Rank(), v)
@@ -206,7 +207,7 @@ func TestBcast(t *testing.T) {
 
 func TestPanicPropagates(t *testing.T) {
 	start := time.Now()
-	_, err := Run(4, func(c *Comm) {
+	_, err := Run(4, func(c Comm) {
 		if c.Rank() == 2 {
 			panic("boom")
 		}
@@ -222,7 +223,7 @@ func TestPanicPropagates(t *testing.T) {
 }
 
 func TestPanicUnblocksSendRecv(t *testing.T) {
-	_, err := Run(2, func(c *Comm) {
+	_, err := Run(2, func(c Comm) {
 		if c.Rank() == 0 {
 			panic("rank0 died")
 		}
@@ -235,7 +236,7 @@ func TestPanicUnblocksSendRecv(t *testing.T) {
 }
 
 func TestCommTimeAccounted(t *testing.T) {
-	comms, err := Run(2, func(c *Comm) {
+	comms, err := Run(2, func(c Comm) {
 		if c.Rank() == 0 {
 			time.Sleep(30 * time.Millisecond) // make rank 1 wait
 		}
@@ -250,7 +251,7 @@ func TestCommTimeAccounted(t *testing.T) {
 }
 
 func TestBytesMoved(t *testing.T) {
-	comms, err := Run(2, func(c *Comm) {
+	comms, err := Run(2, func(c Comm) {
 		recv := make([]float64, 100)
 		c.SendRecv(c.Rank()^1, make([]float64, 100), recv)
 	})
@@ -263,7 +264,7 @@ func TestBytesMoved(t *testing.T) {
 }
 
 func TestSingleRankCollectives(t *testing.T) {
-	_, err := Run(1, func(c *Comm) {
+	_, err := Run(1, func(c Comm) {
 		if s := c.AllreduceSum(5); s != 5 {
 			t.Errorf("sum %v", s)
 		}
@@ -278,7 +279,7 @@ func TestSingleRankCollectives(t *testing.T) {
 }
 
 func TestManyRanksStress(t *testing.T) {
-	_, err := Run(32, func(c *Comm) {
+	_, err := Run(32, func(c Comm) {
 		for i := 0; i < 50; i++ {
 			s := c.AllreduceSum(1)
 			if s != 32 {
@@ -289,5 +290,98 @@ func TestManyRanksStress(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSendRecvSelfLengthMismatch: the self-exchange path must enforce
+// the same length contract as the cross-rank path instead of silently
+// truncating via copy.
+func TestSendRecvSelfLengthMismatch(t *testing.T) {
+	_, err := Run(1, func(c Comm) {
+		recv := make([]float64, 2)
+		c.SendRecv(0, []float64{1, 2, 3}, recv)
+	})
+	if err == nil || !strings.Contains(err.Error(), "expected 2 values") {
+		t.Fatalf("err = %v, want length-contract panic", err)
+	}
+}
+
+// TestSendRecvSelfAccounting: self-exchanges are real exchanges the
+// caller asked for — the transport short-circuits the wire but the
+// sends/bytes accounting must still see them, so BytesMoved is
+// independent of whether a pairing happens to be local.
+func TestSendRecvSelfAccounting(t *testing.T) {
+	comms, err := Run(1, func(c Comm) {
+		buf := make([]float64, 100)
+		c.SendRecv(0, buf, buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := comms[0].BytesMoved(); got != 800 {
+		t.Fatalf("self-exchange BytesMoved = %d, want 800", got)
+	}
+}
+
+// TestRunJoinsConcurrentPanics: when several ranks fail at once, Run
+// must report all of them, not just the lowest-ranked one.
+func TestRunJoinsConcurrentPanics(t *testing.T) {
+	_, err := Run(2, func(c Comm) {
+		if c.Rank() == 0 {
+			panic("boom-zero")
+		}
+		panic("boom-one")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range []string{"rank 0", "boom-zero", "rank 1", "boom-one"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("err = %v, missing %q", err, want)
+		}
+	}
+}
+
+// TestRankDeathUnblocksCollectives: a rank dying before (or during) any
+// collective must unblock every peer with an error wrapping ErrRankDied
+// — never deadlock — and Run must surface every survivor's abort.
+func TestRankDeathUnblocksCollectives(t *testing.T) {
+	collectives := []struct {
+		name string
+		call func(c Comm)
+	}{
+		{"SendRecv", func(c Comm) {
+			buf := make([]float64, 8)
+			c.SendRecv(3, buf, buf)
+		}},
+		{"Barrier", func(c Comm) { c.Barrier() }},
+		{"AllreduceSum", func(c Comm) { c.AllreduceSum(1) }},
+		{"AllreduceMax", func(c Comm) { c.AllreduceMax(1) }},
+		{"Bcast", func(c Comm) { c.Bcast(0, 1) }},
+	}
+	for _, tc := range collectives {
+		t.Run(tc.name, func(t *testing.T) {
+			start := time.Now()
+			_, err := Run(4, func(c Comm) {
+				if c.Rank() == 3 {
+					panic("rank 3 died")
+				}
+				tc.call(c)
+			})
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !errors.Is(err, ErrRankDied) {
+				t.Fatalf("err = %v, want ErrRankDied in the chain", err)
+			}
+			for _, want := range []string{"rank 0", "rank 1", "rank 2", "rank 3"} {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("err = %v, missing survivor %q", err, want)
+				}
+			}
+			if time.Since(start) > 5*time.Second {
+				t.Fatal("abort did not unblock peers promptly")
+			}
+		})
 	}
 }

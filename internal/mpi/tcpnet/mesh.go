@@ -1,0 +1,145 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"qcsim/internal/mpi"
+)
+
+// Mesh connects this process into a fully-connected rank mesh and
+// returns its Comm. ln is this rank's own listener (already bound);
+// addrs[i] is rank i's listen address, so len(addrs) is the mesh size.
+// Each rank dials every lower rank — identifying itself with a 4-byte
+// big-endian rank header — and accepts one connection from every
+// higher rank. Dials retry until the deadline, because peers come up
+// in arbitrary order; a dial succeeds as soon as the peer's listener
+// exists, even before that peer reaches its accept loop (the kernel
+// backlog holds the connection and the header bytes). On any failure
+// every link made so far is closed and an error is returned.
+func Mesh(ln net.Listener, rank int, addrs []string, deadline time.Time) (*Comm, error) {
+	size := len(addrs)
+	if size <= 0 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("tcpnet: mesh size %d is not a power of two", size)
+	}
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("tcpnet: rank %d out of range for size %d", rank, size)
+	}
+	c := &Comm{rank: rank, size: size, peers: make([]*peer, size)}
+	fail := func(err error) (*Comm, error) {
+		c.Close()
+		return nil, err
+	}
+
+	// Dial every lower rank, announcing who we are.
+	for lower := 0; lower < rank; lower++ {
+		conn, err := dialRetry(addrs[lower], deadline)
+		if err != nil {
+			return fail(fmt.Errorf("tcpnet: rank %d dialing rank %d at %s: %w", rank, lower, addrs[lower], err))
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(rank))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("tcpnet: rank %d greeting rank %d: %w", rank, lower, err))
+		}
+		c.peers[lower] = &peer{conn: conn}
+	}
+
+	// Accept one connection from every higher rank, in whatever order
+	// they arrive.
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	for need := size - 1 - rank; need > 0; need-- {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("tcpnet: rank %d accepting peers: %w", rank, err))
+		}
+		conn.SetReadDeadline(deadline)
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("tcpnet: rank %d reading peer greeting: %w", rank, err))
+		}
+		pr := int(binary.BigEndian.Uint32(hdr[:]))
+		if pr <= rank || pr >= size {
+			conn.Close()
+			return fail(fmt.Errorf("tcpnet: rank %d greeted by out-of-range rank %d", rank, pr))
+		}
+		if c.peers[pr] != nil {
+			conn.Close()
+			return fail(fmt.Errorf("tcpnet: rank %d greeted twice by rank %d", rank, pr))
+		}
+		conn.SetReadDeadline(time.Time{})
+		c.peers[pr] = &peer{conn: conn}
+	}
+	for _, p := range c.peers {
+		if p != nil {
+			if tc, ok := p.conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+		}
+	}
+	return c, nil
+}
+
+// dialRetry dials addr until it connects or the deadline passes. The
+// retry loop papers over the startup race where a peer's listener is
+// not bound yet.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("deadline passed")
+			}
+			return nil, lastErr
+		}
+		conn, err := net.DialTimeout("tcp", addr, remain)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Launcher adapts a meshed Comm to the mpi.Launcher seam: it runs the
+// rank body for the one rank that lives in this process. The returned
+// slice has the Comm at this rank's index and nil everywhere else —
+// callers treat nil entries as "remote rank, accounting arrives out of
+// band". If the body panics, the mesh is torn down (cascading
+// mpi.ErrRankDied to every peer) and the panic is returned as an
+// error, wrapped so errors.Is still sees sentinel causes.
+type Launcher struct {
+	comm *Comm
+}
+
+// NewLauncher wraps a meshed Comm.
+func NewLauncher(c *Comm) *Launcher { return &Launcher{comm: c} }
+
+// Launch implements mpi.Launcher for the single local rank.
+func (l *Launcher) Launch(size int, body func(mpi.Comm)) (comms []mpi.Comm, err error) {
+	if size != l.comm.size {
+		return nil, fmt.Errorf("tcpnet: launch size %d does not match mesh size %d", size, l.comm.size)
+	}
+	comms = make([]mpi.Comm, size)
+	comms[l.comm.rank] = l.comm
+	defer func() {
+		if r := recover(); r != nil {
+			l.comm.Close()
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("tcpnet: rank %d panicked: %w", l.comm.rank, e)
+			} else {
+				err = fmt.Errorf("tcpnet: rank %d panicked: %v", l.comm.rank, r)
+			}
+		}
+	}()
+	body(l.comm)
+	return comms, nil
+}

@@ -1,0 +1,246 @@
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qcsim/internal/mpi"
+)
+
+// startMesh builds a size-rank loopback mesh, one goroutine per rank
+// standing in for one process per rank.
+func startMesh(t *testing.T, size int) []*Comm {
+	t.Helper()
+	lns := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for r := 0; r < size; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	comms := make([]*Comm, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(5 * time.Second)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comms[r], errs[r] = Mesh(lns[r], r, addrs, deadline)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("mesh rank %d: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, c := range comms {
+			c.Close()
+		}
+		for _, ln := range lns {
+			ln.Close()
+		}
+	})
+	return comms
+}
+
+// run executes one body per rank and returns each rank's recovered
+// panic (nil when the body returned normally).
+func run(comms []*Comm, body func(c *Comm)) []any {
+	panics := make([]any, len(comms))
+	var wg sync.WaitGroup
+	for i, c := range comms {
+		wg.Add(1)
+		go func(i int, c *Comm) {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			body(c)
+		}(i, c)
+	}
+	wg.Wait()
+	return panics
+}
+
+// TestCollectivesMatchInProcess runs the same contributions through
+// the goroutine transport and the TCP transport and requires
+// bit-identical results — the ordered-reduction invariant that keeps
+// distributed runs byte-identical to in-process runs.
+func TestCollectivesMatchInProcess(t *testing.T) {
+	const size = 4
+	// Values chosen so that summing in a different order changes the
+	// low bits.
+	vals := []float64{0.1, 1e17, -1e17, 0.3}
+	maxes := []uint64{7, 42, 3, 42}
+
+	wantSum := make([]uint64, size)
+	wantMax := make([]uint64, size)
+	wantB := make([]uint64, size)
+	if _, err := mpi.Run(size, func(c mpi.Comm) {
+		r := c.Rank()
+		wantSum[r] = math.Float64bits(c.AllreduceSum(vals[r]))
+		wantMax[r] = c.AllreduceMax(maxes[r])
+		wantB[r] = math.Float64bits(c.Bcast(2, vals[r]))
+	}); err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+
+	comms := startMesh(t, size)
+	gotSum := make([]uint64, size)
+	gotMax := make([]uint64, size)
+	gotB := make([]uint64, size)
+	for _, p := range run(comms, func(c *Comm) {
+		r := c.Rank()
+		gotSum[r] = math.Float64bits(c.AllreduceSum(vals[r]))
+		gotMax[r] = c.AllreduceMax(maxes[r])
+		gotB[r] = math.Float64bits(c.Bcast(2, vals[r]))
+	}) {
+		if p != nil {
+			t.Fatalf("tcp rank panicked: %v", p)
+		}
+	}
+	for r := 0; r < size; r++ {
+		if gotSum[r] != wantSum[r] {
+			t.Errorf("rank %d AllreduceSum bits: tcp %x, in-process %x", r, gotSum[r], wantSum[r])
+		}
+		if gotMax[r] != wantMax[r] {
+			t.Errorf("rank %d AllreduceMax: tcp %d, in-process %d", r, gotMax[r], wantMax[r])
+		}
+		if gotB[r] != wantB[r] {
+			t.Errorf("rank %d Bcast bits: tcp %x, in-process %x", r, gotB[r], wantB[r])
+		}
+	}
+}
+
+func TestSendRecvExchangesPayloads(t *testing.T) {
+	comms := startMesh(t, 2)
+	recvs := make([][]float64, 2)
+	for _, p := range run(comms, func(c *Comm) {
+		send := []float64{float64(c.Rank()) + 0.25, -1}
+		recv := make([]float64, 2)
+		c.SendRecv(1-c.Rank(), send, recv)
+		recvs[c.Rank()] = recv
+	}) {
+		if p != nil {
+			t.Fatalf("rank panicked: %v", p)
+		}
+	}
+	if recvs[0][0] != 1.25 || recvs[1][0] != 0.25 {
+		t.Fatalf("wrong payloads exchanged: %v", recvs)
+	}
+	if got := comms[0].BytesMoved(); got != 16 {
+		t.Fatalf("BytesMoved = %d, want 16", got)
+	}
+}
+
+func TestSendRecvSelfCountsTraffic(t *testing.T) {
+	comms := startMesh(t, 2)
+	buf := make([]float64, 100)
+	comms[0].SendRecv(0, buf, buf)
+	if got := comms[0].BytesMoved(); got != 800 {
+		t.Fatalf("self-exchange BytesMoved = %d, want 800", got)
+	}
+}
+
+func TestSendRecvLengthContract(t *testing.T) {
+	comms := startMesh(t, 2)
+	panics := run(comms, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SendRecv(1, make([]float64, 3), make([]float64, 3))
+		} else {
+			c.SendRecv(0, make([]float64, 3), make([]float64, 2))
+		}
+	})
+	msg, ok := panics[1].(string)
+	if !ok || !strings.Contains(msg, "expected 2 values from 0, got 3") {
+		t.Fatalf("rank 1 panic = %v, want length-contract message", panics[1])
+	}
+}
+
+// TestRankDeathUnblocksCollectives kills one rank's links mid-run and
+// requires every surviving rank to surface mpi.ErrRankDied from every
+// collective, within a bound, never deadlocking — the transport
+// contract's failure invariant, here over real sockets.
+func TestRankDeathUnblocksCollectives(t *testing.T) {
+	const size = 4
+	cases := []struct {
+		name string
+		call func(c *Comm)
+	}{
+		{"SendRecv", func(c *Comm) {
+			buf := make([]float64, 8)
+			c.SendRecv(size-1, buf, buf)
+		}},
+		{"Barrier", func(c *Comm) { c.Barrier() }},
+		{"AllreduceSum", func(c *Comm) { c.AllreduceSum(1) }},
+		{"AllreduceMax", func(c *Comm) { c.AllreduceMax(1) }},
+		{"Bcast", func(c *Comm) { c.Bcast(0, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			comms := startMesh(t, size)
+			start := time.Now()
+			panics := run(comms, func(c *Comm) {
+				if c.Rank() == size-1 {
+					// Simulate process death: the kernel closes a dead
+					// process's sockets; Close is the same observable event.
+					c.Close()
+					return
+				}
+				tc.call(c)
+			})
+			if d := time.Since(start); d > 5*time.Second {
+				t.Fatalf("collectives took %v to unblock", d)
+			}
+			for r := 0; r < size-1; r++ {
+				err, ok := panics[r].(error)
+				if !ok {
+					t.Fatalf("rank %d: panic = %v, want error", r, panics[r])
+				}
+				if !errors.Is(err, mpi.ErrRankDied) {
+					t.Fatalf("rank %d: %v does not wrap mpi.ErrRankDied", r, err)
+				}
+			}
+		})
+	}
+}
+
+// TestLauncherRecoversBodyPanic checks the Launcher seam: a panicking
+// body comes back as an error that preserves wrapped sentinels, and
+// the mesh is torn down so peers die instead of hanging.
+func TestLauncherRecoversBodyPanic(t *testing.T) {
+	comms := startMesh(t, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i, c := range comms {
+		wg.Add(1)
+		go func(i int, c *Comm) {
+			defer wg.Done()
+			_, errs[i] = NewLauncher(c).Launch(2, func(mc mpi.Comm) {
+				if mc.Rank() == 1 {
+					panic(fmt.Errorf("deliberate: %w", mpi.ErrRankDied))
+				}
+				mc.Barrier()
+			})
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, mpi.ErrRankDied) {
+			t.Fatalf("rank %d: %v does not wrap mpi.ErrRankDied", i, err)
+		}
+	}
+	if _, err := NewLauncher(comms[0]).Launch(4, func(mpi.Comm) {}); err == nil {
+		t.Fatal("size mismatch not rejected")
+	}
+}

@@ -475,6 +475,94 @@ func TestBadRequests(t *testing.T) {
 	shutdownOK(t, srv)
 }
 
+// TestResumeKeepsCheckpointUntilNextSuspend pins the resume-safety
+// contract: the suspended checkpoint is NOT deleted when a resume's
+// Load succeeds — it stays the last-known-good state until the next
+// successful suspend replaces it or the session closes. The regression
+// it guards against: ensureResident used to os.Remove the checkpoint
+// immediately after Load, so a crash right after resume (engine lost,
+// nothing re-suspended yet) destroyed the session's only copy.
+func TestResumeKeepsCheckpointUntilNextSuspend(t *testing.T) {
+	srv, err := New(Config{Tenants: []TenantConfig{{Name: "a", MemoryBudget: 1 << 20}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := newClient(t, ts)
+
+	sess := c.createSession("a", 10, 5)
+	c.runOK(sess.SessionID, compressedCircuit(10, 77))
+	control := c.createSession("a", 10, 5)
+	c.runOK(control.SessionID, compressedCircuit(10, 77))
+	wantShots, _ := c.sample(control.SessionID, 16)
+
+	if st := c.suspend(sess.SessionID); st.Code != CodeOK {
+		t.Fatalf("suspend: %+v", st)
+	}
+	ckpt := filepath.Join(srv.ckptDir, sess.SessionID+".ckpt")
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint missing after suspend: %v", err)
+	}
+
+	// Transparent resume. The checkpoint must survive it.
+	gotShots, resp := c.sample(sess.SessionID, 16)
+	if resp.Code != CodeOK {
+		t.Fatalf("sample resume: %+v", resp)
+	}
+	if fmt.Sprint(gotShots) != fmt.Sprint(wantShots) {
+		t.Fatalf("resume broke bit-identity:\n resumed %v\n control %v", gotShots, wantShots)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint must be kept after a successful resume, stat: %v", err)
+	}
+	if info := c.inspect(sess.SessionID); info.Suspended {
+		t.Fatalf("resident session misreported as suspended: %+v", info)
+	}
+
+	// Simulate a crash right after resume: the resident engine is lost
+	// without a suspend ever running (the failure mode the retained
+	// checkpoint exists for).
+	s := srv.session(sess.SessionID)
+	s.mu.Lock()
+	s.snap = s.sim.Snapshot()
+	s.sim.Close()
+	s.sim = nil
+	srv.ledger.Release(s.Tenant, s.reserved)
+	s.reserved = 0
+	s.mu.Unlock()
+
+	// The next sample must rebuild from the retained checkpoint,
+	// bit-identical to the uninterrupted control.
+	gotShots, resp = c.sample(sess.SessionID, 16)
+	if resp.Code != CodeOK {
+		t.Fatalf("sample after simulated crash: %+v", resp)
+	}
+	if fmt.Sprint(gotShots) != fmt.Sprint(wantShots) {
+		t.Fatalf("recovery from retained checkpoint broke bit-identity:\n recovered %v\n control %v", gotShots, wantShots)
+	}
+	if info := c.inspect(sess.SessionID); info.Resumes != 2 {
+		t.Fatalf("want 2 resumes (transparent + crash recovery), got %+v", info)
+	}
+
+	// A fresh suspend atomically replaces the checkpoint in place, and
+	// closing the session finally deletes it.
+	if st := c.suspend(sess.SessionID); st.Code != CodeOK {
+		t.Fatalf("re-suspend: %+v", st)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint missing after re-suspend: %v", err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+sess.SessionID, nil)
+	if _, err := ts.Client().Do(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("closing the session must delete the checkpoint (stat err=%v)", err)
+	}
+	shutdownOK(t, srv)
+}
+
 func TestIdleJanitorSuspends(t *testing.T) {
 	srv, err := New(Config{
 		Tenants:     []TenantConfig{{Name: "a", MemoryBudget: 1 << 20}},

@@ -46,7 +46,11 @@ type Session struct {
 	// reserved is the live ledger charge (0 while suspended or never
 	// built).
 	reserved int64
-	// ckptPath points at the suspended checkpoint ("" while resident).
+	// ckptPath points at the on-disk checkpoint: "" until the first
+	// suspend, then retained across resume (the last-known-good state,
+	// so a crash between resume and the next suspend loses the delta,
+	// not the session) until the next successful suspend atomically
+	// replaces it or closeSession deletes it.
 	ckptPath string
 	// snap is the last-known simulator accounting, kept across
 	// suspend so SessionInfo stays truthful while the engine is on
@@ -144,8 +148,11 @@ func (s *Session) ensureResident(led *Ledger, spillDir string, m *Metrics) error
 			sim.Close()
 			return fail(fmt.Errorf("server: resume %s: %w", s.ID, err))
 		}
-		os.Remove(s.ckptPath)
-		s.ckptPath = ""
+		// The checkpoint is deliberately kept: it stays the
+		// last-known-good state until the next successful suspend
+		// replaces it (same path, tmp+rename) or the session closes.
+		// Deleting it here would turn a crash right after resume into
+		// total state loss.
 		s.resumes++
 		m.Resumes.Add(1)
 	}

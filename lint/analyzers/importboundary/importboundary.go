@@ -45,7 +45,7 @@ var rules = []rule{
 			"qcsim/internal/core", "qcsim/internal/quantum", "qcsim/internal/mps",
 			"qcsim/internal/blockstore", "qcsim/internal/compress", "qcsim/internal/mpi",
 			"qcsim/internal/harness", "qcsim/internal/stats", "qcsim/internal/bitio",
-			"qcsim/internal/huffman",
+			"qcsim/internal/huffman", "qcsim/internal/distrib",
 		},
 		why: "the serving subsystem admits through qcsim.EstimateCircuit, never the engine internals",
 	},
@@ -55,13 +55,35 @@ var rules = []rule{
 		deny:   []string{"qcsim/internal/core"},
 		why:    "circuit and bench go through internal/quantum and internal/harness; only the root facade touches the engine core",
 	},
+	{
+		// The scope prefix covers the contract package AND every
+		// transport under it (internal/mpi/tcpnet, ...).
+		name:   "transport-is-a-leaf",
+		scopes: []string{"qcsim/internal/mpi"},
+		deny: []string{
+			"qcsim/internal/core", "qcsim/internal/quantum", "qcsim/internal/mps",
+			"qcsim/internal/blockstore", "qcsim/internal/compress",
+			"qcsim/internal/distrib", "qcsim/internal/server", "qcsim/internal/harness",
+		},
+		why: "a transport moves words between ranks; it must never see gates, states, codecs, or orchestration",
+	},
+	{
+		name:   "distrib-below-serving",
+		scopes: []string{"qcsim/internal/distrib"},
+		deny: []string{
+			"qcsim/internal/server", "qcsim/internal/harness", "qcsim/internal/mps",
+		},
+		why: "distrib orchestrates engine ranks over a transport; serving, benchmarking, and the MPS engine sit above or beside it",
+	},
 }
 
 var Analyzer = &analysis.Analyzer{
 	Name: "importboundary",
 	Doc: "enforce the package layering table: examples/ and cmd/ stay on the public facade " +
 		"(cmd/qcserve may use internal/server), the serving subsystem never reaches engine " +
-		"internals, and the public circuit/ and bench/ packages never import internal/core",
+		"internals, the public circuit/ and bench/ packages never import internal/core, " +
+		"transports under internal/mpi stay leaf packages that never see the engine, and " +
+		"internal/distrib never reaches up into serving or sideways into MPS",
 	Run: run,
 }
 

@@ -15,5 +15,7 @@ func TestImportBoundary(t *testing.T) {
 		"qcsim/cmd/qcserve",
 		"qcsim/cmd/other",
 		"qcsim/internal/server",
+		"qcsim/internal/mpi/tcpnet",
+		"qcsim/internal/distrib",
 	)
 }

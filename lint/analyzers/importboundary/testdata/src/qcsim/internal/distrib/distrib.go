@@ -1,0 +1,15 @@
+// Fixture: distrib legitimately drives the engine core and the
+// transport, but serving and the MPS engine sit above or beside it.
+package distrib
+
+import (
+	"qcsim/internal/core"
+	"qcsim/internal/mpi"
+	"qcsim/internal/mps" // want "rule distrib-below-serving"
+)
+
+func Run() {
+	core.Step()
+	mps.Contract()
+	_ = mpi.Version
+}

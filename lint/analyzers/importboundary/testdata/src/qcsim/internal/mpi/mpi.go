@@ -1,3 +1,5 @@
 package mpi
 
+var Version = 1
+
 func init() {}

@@ -1,0 +1,13 @@
+// Fixture: a transport implementation may use its contract package,
+// but it is a leaf — the engine core is out of reach.
+package tcpnet
+
+import (
+	"qcsim/internal/core" // want "rule transport-is-a-leaf"
+	"qcsim/internal/mpi"
+)
+
+func Mesh() {
+	core.Step()
+	_ = mpi.Version
+}

@@ -1,0 +1,3 @@
+package mps
+
+func Contract() {}

@@ -1,5 +1,11 @@
 package server
 
-import "qcsim/internal/core" // want "rule serving-on-facade"
+import (
+	"qcsim/internal/core"    // want "rule serving-on-facade"
+	"qcsim/internal/distrib" // want "rule serving-on-facade"
+)
 
-func admit() { core.Step() }
+func admit() {
+	core.Step()
+	distrib.Run()
+}

@@ -25,6 +25,8 @@ type settings struct {
 	backend     string
 	bondDim     int
 	variants    int
+	transport   string
+	workerCmd   []string
 }
 
 // Option configures a Simulator at construction. Options are applied in
@@ -215,6 +217,45 @@ func WithSpill(dir string, ramBudget int64) Option {
 	}
 }
 
+// Transport names accepted by WithTransport.
+const (
+	// TransportInProcess is the default rank runtime: every SPMD rank
+	// is a goroutine of this process, exchanging halves over channels.
+	TransportInProcess = "inprocess"
+	// TransportTCP runs every rank as a separate OS process connected
+	// over loopback (or LAN) TCP. Each Run ships the compressed state
+	// to worker processes, executes there, and merges the results back
+	// — bit-identical to the in-process transport for a single Run:
+	// amplitudes, fidelity ledger, measurement outcomes, sampling, and
+	// the deterministic Stats counters all match. See the package
+	// documentation's "Distribution" section for the lifecycle and
+	// failure semantics.
+	TransportTCP = "tcp"
+)
+
+// WithTransport selects the rank runtime: TransportInProcess (the
+// default) or TransportTCP. The TCP transport requires the compressed
+// backend (the default; mps and auto report ErrBadConfig) and spawns
+// one worker process per rank at each Run — see WithWorkerCommand.
+// A worker dying mid-run surfaces as an error wrapping ErrRankDied on
+// every surviving rank, within a bounded timeout, and leaves the
+// coordinator's pre-run state intact. Unknown names report
+// ErrBadConfig from New.
+func WithTransport(name string) Option {
+	return func(s *settings) { s.transport = name }
+}
+
+// WithWorkerCommand sets the argv the TCP transport spawns once per
+// rank; each child receives the coordinator's address in the
+// QCSIM_COORD_ADDR environment variable and must call
+// qcsim.RankWorker with it (the stock cmd/qcrank binary does exactly
+// that, and is the default: "qcrank" resolved through PATH). Only
+// meaningful with WithTransport(TransportTCP); otherwise New reports
+// ErrBadConfig.
+func WithWorkerCommand(argv ...string) Option {
+	return func(s *settings) { s.workerCmd = append([]string(nil), argv...) }
+}
+
 // resolve turns the accumulated settings into a core configuration,
 // resolving the codec name through the registry.
 func (s *settings) resolve(qubits int) (core.Config, float64, error) {
@@ -253,6 +294,22 @@ func (s *settings) resolve(qubits int) (core.Config, float64, error) {
 	}
 	if s.backend == BackendMPS && s.noiseProb > 0 {
 		return cfg, 0, fmt.Errorf("%w: the mps backend has no noise channel (use the compressed backend)", ErrBadConfig)
+	}
+	switch s.transport {
+	case "", TransportInProcess, TransportTCP:
+	default:
+		return cfg, 0, fmt.Errorf("%w: unknown transport %q (have %q, %q)",
+			ErrBadConfig, s.transport, TransportInProcess, TransportTCP)
+	}
+	if s.transport == TransportTCP && (s.backend == BackendMPS || s.backend == BackendAuto) {
+		return cfg, 0, fmt.Errorf("%w: the %s transport distributes the compressed engine only (drop WithBackend(%q))",
+			ErrBadConfig, TransportTCP, s.backend)
+	}
+	if len(s.workerCmd) > 0 && s.transport != TransportTCP {
+		return cfg, 0, fmt.Errorf("%w: WithWorkerCommand requires WithTransport(%q)", ErrBadConfig, TransportTCP)
+	}
+	if s.workerCmd != nil && (len(s.workerCmd) == 0 || s.workerCmd[0] == "") {
+		return cfg, 0, fmt.Errorf("%w: empty worker command", ErrBadConfig)
 	}
 	return cfg, s.noiseProb, nil
 }

@@ -91,6 +91,9 @@ func New(qubits int, opts ...Option) (*Simulator, error) {
 		if err != nil {
 			return nil, err
 		}
+		if st.transport == TransportTCP {
+			sim.be = newDistBackend(sim.be.(compressedBackend), cfg, noiseProb, st.workerCmd)
+		}
 	}
 	return sim, nil
 }
